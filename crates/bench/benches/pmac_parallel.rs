@@ -1,0 +1,91 @@
+//! Ablation (DESIGN.md / paper §7): PMAC's defining property is that block
+//! contributions commute, so the accumulation parallelizes. This bench
+//! compares sequential PMAC against a crossbeam fan-out over 2/4 lanes on
+//! large messages — the software analogue of the independent hardware MAC
+//! lanes the paper's "faster InfiniBand" discussion wants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ib_crypto::pmac::Pmac;
+use std::hint::black_box;
+
+/// Parallel PMAC: split the full-block prefix across `lanes` threads, XOR
+/// the partial sigmas, finalize once.
+fn pmac_parallel_tag(pmac: &Pmac, nonce: u64, message: &[u8], lanes: usize) -> u32 {
+    let (full, last) = Pmac::split(message);
+    let nblocks = full.len() / 16;
+    if nblocks < lanes * 4 {
+        return pmac.tag32(nonce, message);
+    }
+    let per = nblocks.div_ceil(lanes);
+    let mut partials = vec![[0u8; 16]; lanes];
+    crossbeam::thread::scope(|scope| {
+        for (lane, partial) in partials.iter_mut().enumerate() {
+            let start = lane * per;
+            if start >= nblocks {
+                break;
+            }
+            let end = ((lane + 1) * per).min(nblocks);
+            let blocks = &full[start * 16..end * 16];
+            scope.spawn(move |_| {
+                pmac.accumulate(start as u64, blocks, partial);
+            });
+        }
+    })
+    .unwrap();
+    let mut sigma = [0u8; 16];
+    for p in &partials {
+        for i in 0..16 {
+            sigma[i] ^= p[i];
+        }
+    }
+    pmac.finalize_sigma(sigma, last, nonce)
+}
+
+fn bench_pmac(c: &mut Criterion) {
+    let pmac = Pmac::new(b"parallel pmac!!!");
+
+    // Correctness first: the parallel path must agree with the sequential.
+    let check = vec![0x77u8; 65_536];
+    for lanes in [2usize, 4] {
+        assert_eq!(
+            pmac_parallel_tag(&pmac, 9, &check, lanes),
+            pmac.tag32(9, &check),
+            "{lanes}-lane PMAC must match sequential"
+        );
+    }
+
+    for &len in &[4096usize, 65_536] {
+        let msg = vec![0x3Cu8; len];
+        let mut group = c.benchmark_group(format!("pmac/{len}B"));
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_function(BenchmarkId::new("sequential", len), |b| {
+            let mut nonce = 0u64;
+            b.iter(|| {
+                nonce += 1;
+                pmac.tag32(nonce, black_box(&msg))
+            })
+        });
+        for lanes in [2usize, 4] {
+            group.bench_function(BenchmarkId::new(format!("{lanes}-lane"), len), |b| {
+                let mut nonce = 0u64;
+                b.iter(|| {
+                    nonce += 1;
+                    pmac_parallel_tag(&pmac, nonce, black_box(&msg), lanes)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Modest sampling: these run on small CI boxes; trends matter, not
+    // microsecond-perfect confidence intervals.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pmac,
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Simulator engine throughput: how many simulated packets per wall-second
+//! the discrete-event core sustains, with and without enforcement — keeps
+//! sweep costs predictable and catches engine regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ib_mgmt::enforcement::EnforcementKind;
+use ib_sim::config::SimConfig;
+use ib_sim::engine::Simulator;
+use ib_sim::time::{MS, US};
+
+fn quick_cfg(kind: EnforcementKind, attackers: usize) -> SimConfig {
+    SimConfig {
+        enforcement: kind,
+        num_attackers: attackers,
+        attack_probability: 1.0,
+        duration: MS,
+        warmup: 100 * US,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim-engine/1ms-run");
+    group.sample_size(10);
+    for (label, kind, attackers) in [
+        ("baseline", EnforcementKind::NoFiltering, 0),
+        ("attack-nofilter", EnforcementKind::NoFiltering, 4),
+        ("attack-dpt", EnforcementKind::Dpt, 4),
+        ("attack-sif", EnforcementKind::Sif, 4),
+    ] {
+        group.bench_function(BenchmarkId::new(label, 1), |b| {
+            b.iter(|| Simulator::new(quick_cfg(kind, attackers)).run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

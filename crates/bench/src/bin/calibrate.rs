@@ -1,0 +1,57 @@
+//! Calibration sweep (development tool): explores victim load × buffer
+//! depth × attacker count to locate the operating point where the paper's
+//! Figure 1 queuing blow-up appears. Not part of the reproduced results;
+//! see DESIGN.md "calibration" note.
+
+use bench::render_table;
+use ib_security::experiments::run_many;
+use ib_sim::config::{SimConfig, TrafficConfig};
+use ib_sim::time::{MS, US};
+
+fn cfg(rt: f64, be: f64, bufs: u32, attackers: usize) -> SimConfig {
+    SimConfig {
+        num_attackers: attackers,
+        attack_probability: 1.0,
+        vl_buffer_packets: bufs,
+        traffic: TrafficConfig {
+            realtime_load: rt,
+            best_effort_load: be,
+            realtime_backoff_queue: 8,
+        },
+        duration: 4 * MS,
+        warmup: 400 * US,
+        ..SimConfig::default()
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &(rt, be) in &[(0.2f64, 0.3f64), (0.25, 0.3), (0.3, 0.3), (0.3, 0.25)] {
+        let load = rt + be;
+        for &bufs in &[4u32] {
+            let configs: Vec<SimConfig> =
+                [0usize, 1, 4].iter().map(|&a| cfg(rt, be, bufs, a)).collect();
+            let reports = run_many(configs);
+            for (a, r) in [0usize, 1, 4].iter().zip(reports.iter()) {
+                rows.push(vec![
+                    format!("{load:.1}"),
+                    bufs.to_string(),
+                    a.to_string(),
+                    format!("{:.2}", r.realtime.queuing.mean()),
+                    format!("{:.2}", r.best_effort.queuing.mean()),
+                    format!("{:.2}", r.realtime.network.mean()),
+                    format!("{:.2}", r.best_effort.network.mean()),
+                    r.backoff_skips.to_string(),
+                    r.hca_blocked.to_string(),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["load", "bufs", "atk", "rtQ", "beQ", "rtN", "beN", "skips", "blocked"],
+            &rows
+        )
+    );
+}

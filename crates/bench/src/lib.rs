@@ -1,0 +1,127 @@
+//! Shared helpers for the experiment binaries: throughput measurement and
+//! plain-text table rendering.
+
+use std::time::Instant;
+
+/// Measure the steady-state throughput of `f` over `message_len`-byte
+/// inputs: runs a warmup, then times enough iterations to cover
+/// `target_ms` of wall clock. Returns bytes/second.
+pub fn measure_throughput(message_len: usize, target_ms: u64, mut f: impl FnMut()) -> f64 {
+    // Warmup.
+    for _ in 0..32 {
+        f();
+    }
+    let mut iters: u64 = 64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() as u64 >= target_ms {
+            return (iters as f64 * message_len as f64) / elapsed.as_secs_f64();
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
+
+/// Estimate the CPU clock in Hz by timing a dependent-add spin loop
+/// (1 add/cycle on every 64-bit core this runs on). Good to a few percent,
+/// which is all the cycles/byte normalization needs.
+pub fn estimate_cpu_hz() -> f64 {
+    let iters: u64 = 200_000_000;
+    let start = Instant::now();
+    let mut acc: u64 = 0;
+    for i in 0..iters {
+        // A dependent chain the compiler cannot vectorize away.
+        acc = acc.wrapping_mul(1).wrapping_add(i ^ acc.rotate_left(1));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    // The loop body is ~3 dependent ops; calibrate empirically as 1 iter ≈
+    // 3 cycles. This is a rough but stable estimate.
+    iters as f64 * 3.0 / elapsed
+}
+
+/// Render rows of (label, values) as an aligned plain-text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("| ");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$} | ", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&"-".repeat(w + 2));
+        sep.push('|');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse `--flag value` style arguments; returns the value following the
+/// flag, if present.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let out = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        assert!(out.contains("| name"));
+        assert!(out.contains("| long-name | 2"));
+        assert_eq!(out.lines().count(), 4);
+    }
+
+    #[test]
+    fn arg_value_parses() {
+        let args: Vec<String> = ["prog", "--load", "0.5", "--quick"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--load"), Some("0.5".into()));
+        assert_eq!(arg_value(&args, "--quick"), None);
+        assert_eq!(arg_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn throughput_positive() {
+        let data = vec![0u8; 4096];
+        let tp = measure_throughput(4096, 5, || {
+            std::hint::black_box(ib_crypto::crc::crc32_ieee(std::hint::black_box(&data)));
+        });
+        assert!(tp > 1e6, "CRC32 should exceed 1 MB/s, got {tp}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Table 4 — time & forgery complexity of the authentication candidates,
+//! and the §5.2/§6 link-speed feasibility arithmetic.
+//!
+//! The paper normalizes literature cycle counts to a 350 MHz clock and
+//! derives Gb/s as `clock / (cycles/byte) × 8`. The same conversion is
+//! applied to *measured* throughput of this repo's implementations by the
+//! `table4` bench, so paper and reproduction rows are directly comparable.
+
+use ib_crypto::mac::AuthAlgorithm;
+use serde::Serialize;
+
+/// The paper's normalization clock for Table 4.
+pub const TABLE4_CLOCK_MHZ: f64 = 350.0;
+/// The link speed UMAC must keep up with (Table 1).
+pub const LINK_GBPS: f64 = 2.5;
+/// The CA clock the paper assumes for the §6 feasibility claim.
+pub const CA_CLOCK_MHZ: f64 = 200.0;
+
+/// Convert cycles/byte at a clock (MHz) into Gb/s of MAC throughput.
+pub fn gbps_from_cycles_per_byte(cycles_per_byte: f64, clock_mhz: f64) -> f64 {
+    // bytes/s = clock_hz / cpb; ×8 → bit/s; ÷1e9 → Gb/s.
+    clock_mhz * 1e6 / cycles_per_byte * 8.0 / 1e9
+}
+
+/// Convert a measured throughput into cycles/byte at the given clock.
+pub fn cycles_per_byte_from_throughput(bytes_per_sec: f64, clock_hz: f64) -> f64 {
+    clock_hz / bytes_per_sec
+}
+
+/// One Table 4 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Row {
+    /// Algorithm name as the paper prints it.
+    pub algorithm: &'static str,
+    /// Cycles/byte (paper's 350 MHz-normalized reference value).
+    pub cycles_per_byte: f64,
+    /// Gb/s at 350 MHz.
+    pub gbps: f64,
+    /// Forgery probability as log2 (0 ⇒ probability 1).
+    pub forgery_log2: i32,
+}
+
+/// The paper's Table 4, derived from the registry constants. The Gb/s
+/// column is *recomputed* from cycles/byte so the internal consistency of
+/// the paper's numbers is checked by tests rather than transcribed.
+pub fn paper_table4() -> Vec<Table4Row> {
+    [
+        AuthAlgorithm::Icrc,
+        AuthAlgorithm::HmacSha1,
+        AuthAlgorithm::HmacMd5,
+        AuthAlgorithm::Umac32,
+    ]
+    .into_iter()
+    .map(|alg| {
+        let cpb = alg.paper_cycles_per_byte().expect("tabulated algorithm");
+        Table4Row {
+            algorithm: alg.name(),
+            cycles_per_byte: cpb,
+            gbps: gbps_from_cycles_per_byte(cpb, TABLE4_CLOCK_MHZ),
+            forgery_log2: alg.forgery_log2(),
+        }
+    })
+    .collect()
+}
+
+/// §6's feasibility claim: "UMAC can generate 1.4 bytes per cycle, which
+/// means that if we use 200 MHz, UMAC can authenticate messages at the
+/// similar speed with IBA." Returns (umac_gbps_at_200mhz, link_gbps,
+/// feasible-within-25 %).
+pub fn umac_link_speed_check() -> (f64, f64, bool) {
+    let cpb = AuthAlgorithm::Umac32
+        .paper_cycles_per_byte()
+        .expect("UMAC is tabulated");
+    let gbps = gbps_from_cycles_per_byte(cpb, CA_CLOCK_MHZ);
+    (gbps, LINK_GBPS, gbps >= LINK_GBPS * 0.75)
+}
+
+/// Expected forgery attempts before success for a forgery probability of
+/// 2^log2p (how the paper's "up to 2⁻³⁰" should be read).
+pub fn expected_forgery_attempts(forgery_log2: i32) -> f64 {
+    2f64.powi(-forgery_log2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_gbps_column_is_consistent() {
+        // The Gb/s column of Table 4 follows from cycles/byte at 350 MHz —
+        // the registry cross-check.
+        for row in paper_table4() {
+            let expected = match row.algorithm {
+                "CRC" => 11.2,
+                "HMAC-SHA1" => 0.22,
+                "HMAC-MD5" => 0.53,
+                "UMAC-2/4" => 4.0,
+                other => panic!("unexpected row {other}"),
+            };
+            assert!(
+                (row.gbps - expected).abs() / expected < 0.05,
+                "{}: derived {} vs paper {}",
+                row.algorithm,
+                row.gbps,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_crc_umac_md5_sha1() {
+        let rows = paper_table4();
+        let gbps: std::collections::HashMap<&str, f64> =
+            rows.iter().map(|r| (r.algorithm, r.gbps)).collect();
+        assert!(gbps["CRC"] > gbps["UMAC-2/4"]);
+        assert!(gbps["UMAC-2/4"] > gbps["HMAC-MD5"]);
+        assert!(gbps["HMAC-MD5"] > gbps["HMAC-SHA1"]);
+    }
+
+    #[test]
+    fn umac_keeps_up_with_the_link() {
+        let (umac, link, feasible) = umac_link_speed_check();
+        assert!(feasible, "UMAC {umac} Gb/s vs link {link} Gb/s");
+        // 200 MHz × 1.4286 B/cycle × 8 = 2.2857 Gb/s.
+        assert!((umac - 2.2857).abs() < 0.01);
+    }
+
+    #[test]
+    fn conversions_invert() {
+        let cpb = 0.7;
+        let clock_hz = 350.0e6;
+        let gbps = gbps_from_cycles_per_byte(cpb, 350.0);
+        let bytes_per_sec = gbps * 1e9 / 8.0;
+        let back = cycles_per_byte_from_throughput(bytes_per_sec, clock_hz);
+        assert!((back - cpb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forgery_attempts() {
+        assert_eq!(expected_forgery_attempts(0), 1.0);
+        assert_eq!(expected_forgery_attempts(-30), 2f64.powi(30));
+        assert!(expected_forgery_attempts(-32) > 4e9);
+    }
+
+    #[test]
+    fn crc_has_no_authenticity() {
+        let rows = paper_table4();
+        let crc = rows.iter().find(|r| r.algorithm == "CRC").unwrap();
+        assert_eq!(crc.forgery_log2, 0, "forgery probability 1");
+    }
+}

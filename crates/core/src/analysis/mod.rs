@@ -1,0 +1,10 @@
+//! Closed-form models from the paper's evaluation:
+//!
+//! * [`enforcement`] — Table 2, the memory/lookup overhead of DPT vs IF vs
+//!   SIF.
+//! * [`macs`] — Table 4, time & forgery complexity of the candidate
+//!   authentication functions, plus the §5.2/§6 link-speed feasibility
+//!   arithmetic.
+
+pub mod enforcement;
+pub mod macs;

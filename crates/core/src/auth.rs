@@ -1,0 +1,349 @@
+//! The ICRC-as-MAC authentication layer (§5 of the paper), operating on
+//! real [`ib_packet::Packet`]s.
+//!
+//! Tagging: compute a 32-bit MAC over exactly the bytes the ICRC covers
+//! (invariant fields, variant fields masked — [`Packet::icrc_message`]),
+//! store it in the ICRC slot, and put the algorithm selector in BTH
+//! `Resv8a`. Verification reverses this. Selector 0 falls back to the
+//! plain CRC-32 check, which is what makes the scheme wire-compatible with
+//! non-upgraded IBA gear.
+//!
+//! The MAC nonce is `(SLID << 24) | PSN`: the PSN gives per-flow
+//! freshness, the SLID disambiguates senders sharing a partition secret
+//! (partition-level keys are shared by every QP in the partition — §4.2).
+
+use std::fmt;
+
+use ib_crypto::mac::{AnyMac, AuthAlgorithm, Mac};
+use ib_mgmt::keymgmt::{NodeKeyTable, SecretKey};
+use ib_packet::Packet;
+
+/// Which key-management granularity an [`Authenticator`] uses to find the
+/// per-packet secret (§4.2 vs §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyScope {
+    /// One secret per partition, looked up by the BTH P_Key (Figure 2).
+    Partition,
+    /// Per-QP secrets: datagrams by `(Q_Key, source QP)` from the DETH
+    /// (Figure 3), connected service by the destination QP.
+    QpLevel,
+}
+
+/// Why tagging or verification failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthError {
+    /// BTH selector byte names no registered algorithm.
+    UnknownSelector(u8),
+    /// No secret key on file for this packet's scope index — for a
+    /// receiver this is indistinguishable from a forgery by an outsider.
+    NoKey,
+    /// Tag mismatch: forged, corrupted, or keyed differently.
+    BadTag,
+    /// Packet uses plain ICRC (selector 0) and the CRC check failed.
+    BadIcrc,
+    /// Policy demands authentication for this packet but it carries plain
+    /// ICRC.
+    AuthRequired,
+    /// QP-level scope needs a DETH (datagram) or a connection entry and
+    /// the packet offers neither.
+    NoScopeIndex,
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::UnknownSelector(s) => write!(f, "unknown auth selector {s}"),
+            AuthError::NoKey => write!(f, "no secret key for this packet's scope"),
+            AuthError::BadTag => write!(f, "authentication tag mismatch"),
+            AuthError::BadIcrc => write!(f, "ICRC check failed"),
+            AuthError::AuthRequired => write!(f, "policy requires an authenticated packet"),
+            AuthError::NoScopeIndex => write!(f, "packet carries no usable key index"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// Per-node authentication engine: a key table plus the configured
+/// algorithm and scope.
+pub struct Authenticator {
+    /// This node's secrets (installed by the key-management flows).
+    pub keys: NodeKeyTable,
+    algorithm: AuthAlgorithm,
+    scope: KeyScope,
+}
+
+impl Authenticator {
+    /// An authenticator using `algorithm` and `scope` with an empty key
+    /// table.
+    pub fn new(algorithm: AuthAlgorithm, scope: KeyScope) -> Self {
+        assert!(
+            algorithm.is_authenticating(),
+            "selector 0 (plain ICRC) is the absence of authentication"
+        );
+        Authenticator { keys: NodeKeyTable::new(), algorithm, scope }
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> AuthAlgorithm {
+        self.algorithm
+    }
+
+    /// The configured key scope.
+    pub fn scope(&self) -> KeyScope {
+        self.scope
+    }
+
+    /// The MAC nonce for a packet (see module docs).
+    pub fn nonce(packet: &Packet) -> u64 {
+        ((packet.lrh.slid.0 as u64) << 24) | packet.bth.psn.0 as u64
+    }
+
+    /// Find the secret this packet authenticates under. The index is
+    /// derived purely from packet fields, so sender and receiver agree.
+    pub fn secret_for(&self, packet: &Packet) -> Result<SecretKey, AuthError> {
+        match self.scope {
+            KeyScope::Partition => {
+                self.keys.partition_secret(packet.bth.pkey).ok_or(AuthError::NoKey)
+            }
+            KeyScope::QpLevel => {
+                if let Some(deth) = &packet.deth {
+                    self.keys
+                        .datagram_secret(deth.qkey, deth.src_qp)
+                        .ok_or(AuthError::NoKey)
+                } else if packet.bth.opcode.service.is_connected() {
+                    self.keys
+                        .connection_secret(packet.bth.dest_qp)
+                        .ok_or(AuthError::NoKey)
+                } else {
+                    Err(AuthError::NoScopeIndex)
+                }
+            }
+        }
+    }
+
+    /// Compute the tag for a packet under this node's keys (without
+    /// mutating the packet).
+    pub fn compute_tag(&self, packet: &Packet) -> Result<u32, AuthError> {
+        let secret = self.secret_for(packet)?;
+        let mac = AnyMac::new(self.algorithm, &secret.0);
+        Ok(mac.tag32(Self::nonce(packet), &packet.icrc_message()))
+    }
+
+    /// Tag a packet in place: selector into BTH `Resv8a`, MAC into the
+    /// ICRC field, VCRC refreshed. The packet must be sealed first (the
+    /// builder does this).
+    pub fn tag_packet(&self, packet: &mut Packet) -> Result<(), AuthError> {
+        let tag = self.compute_tag(packet)?;
+        packet.set_auth_tag(self.algorithm.selector(), tag);
+        Ok(())
+    }
+
+    /// Verify a received packet.
+    ///
+    /// * Selector 0 → plain ICRC check (compatibility mode).
+    /// * Known selector → recompute the MAC under the packet-indexed secret
+    ///   and compare with the stored tag.
+    pub fn verify_packet(&self, packet: &Packet) -> Result<(), AuthError> {
+        let selector = packet.bth.resv8a;
+        let algorithm =
+            AuthAlgorithm::from_selector(selector).ok_or(AuthError::UnknownSelector(selector))?;
+        if algorithm == AuthAlgorithm::Icrc {
+            return if packet.icrc_ok() { Ok(()) } else { Err(AuthError::BadIcrc) };
+        }
+        let secret = self.secret_for(packet)?;
+        let mac = AnyMac::new(algorithm, &secret.0);
+        if mac.verify(Self::nonce(packet), &packet.icrc_message(), packet.icrc) {
+            Ok(())
+        } else {
+            Err(AuthError::BadTag)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_mgmt::keymgmt::SecretKey;
+    use ib_packet::{Lid, OpCode, PKey, PacketBuilder, Psn, QKey, Qpn};
+
+    fn ud_packet(pkey: PKey, qkey: QKey, src_qp: Qpn, psn: u32, payload: &[u8]) -> Packet {
+        PacketBuilder::new(OpCode::UD_SEND_ONLY)
+            .slid(Lid(1))
+            .dlid(Lid(2))
+            .pkey(pkey)
+            .psn(Psn(psn))
+            .qkey(qkey, src_qp)
+            .payload(payload.to_vec())
+            .build()
+    }
+
+    fn partition_pair() -> (Authenticator, Authenticator, PKey, SecretKey) {
+        let pkey = PKey(0x8001);
+        let secret = SecretKey::from_seed(42);
+        let mut sender = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::Partition);
+        sender.keys.install_partition_secret(pkey, secret);
+        let mut receiver = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::Partition);
+        receiver.keys.install_partition_secret(pkey, secret);
+        (sender, receiver, pkey, secret)
+    }
+
+    #[test]
+    fn partition_level_roundtrip() {
+        let (sender, receiver, pkey, _) = partition_pair();
+        let mut pkt = ud_packet(pkey, QKey(7), Qpn(3), 100, b"authenticated payload");
+        sender.tag_packet(&mut pkt).unwrap();
+        assert_eq!(pkt.bth.resv8a, AuthAlgorithm::Umac32.selector());
+        assert!(pkt.vcrc_ok(), "tagging refreshes the VCRC");
+        receiver.verify_packet(&pkt).unwrap();
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_tag() {
+        let (sender, receiver, pkey, _) = partition_pair();
+        let mut pkt = ud_packet(pkey, QKey(7), Qpn(3), 5, b"over the wire");
+        sender.tag_packet(&mut pkt).unwrap();
+        let parsed = Packet::parse(&pkt.to_bytes()).unwrap();
+        receiver.verify_packet(&parsed).unwrap();
+    }
+
+    #[test]
+    fn payload_tamper_detected() {
+        let (sender, receiver, pkey, _) = partition_pair();
+        let mut pkt = ud_packet(pkey, QKey(7), Qpn(3), 5, b"original payload");
+        sender.tag_packet(&mut pkt).unwrap();
+        pkt.payload[0] ^= 1;
+        pkt.vcrc = pkt.compute_vcrc(); // attacker can fix the plain CRC…
+        assert_eq!(receiver.verify_packet(&pkt), Err(AuthError::BadTag));
+    }
+
+    #[test]
+    fn stolen_pkey_without_secret_fails() {
+        // Table 3's P_Key row: the attacker captured the P_Key and forges a
+        // packet. Without the partition secret, tagging is impossible and a
+        // plain-ICRC packet is rejected once policy requires auth — here we
+        // check the receiver simply cannot verify an unkeyed forgery.
+        let (_, receiver, pkey, _) = partition_pair();
+        let mut attacker = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::Partition);
+        let forged_secret = SecretKey::from_seed(999); // guess
+        attacker.keys.install_partition_secret(pkey, forged_secret);
+        let mut pkt = ud_packet(pkey, QKey(7), Qpn(3), 8, b"forged with stolen P_Key");
+        attacker.tag_packet(&mut pkt).unwrap();
+        assert_eq!(receiver.verify_packet(&pkt), Err(AuthError::BadTag));
+    }
+
+    #[test]
+    fn pkey_swap_detected_because_covered() {
+        let (sender, receiver, pkey, secret) = partition_pair();
+        let other = PKey(0x8002);
+        // Receiver also belongs to the other partition with the same secret
+        // (worst case for detection).
+        let mut receiver = receiver;
+        receiver.keys.install_partition_secret(other, secret);
+        let mut pkt = ud_packet(pkey, QKey(7), Qpn(3), 5, b"partition I data");
+        sender.tag_packet(&mut pkt).unwrap();
+        pkt.bth.pkey = other; // in-flight partition swap
+        pkt.vcrc = pkt.compute_vcrc();
+        assert_eq!(receiver.verify_packet(&pkt), Err(AuthError::BadTag));
+    }
+
+    #[test]
+    fn replayed_psn_changes_tag() {
+        let (sender, _, pkey, _) = partition_pair();
+        let mut p1 = ud_packet(pkey, QKey(7), Qpn(3), 5, b"same bytes");
+        let mut p2 = ud_packet(pkey, QKey(7), Qpn(3), 6, b"same bytes");
+        sender.tag_packet(&mut p1).unwrap();
+        sender.tag_packet(&mut p2).unwrap();
+        assert_ne!(p1.icrc, p2.icrc, "PSN is the nonce: tags must differ");
+    }
+
+    #[test]
+    fn selector_zero_is_plain_icrc() {
+        let (_, receiver, pkey, _) = partition_pair();
+        let pkt = ud_packet(pkey, QKey(7), Qpn(3), 5, b"legacy packet");
+        // Built by the builder in plain-ICRC mode: verifies as legacy.
+        receiver.verify_packet(&pkt).unwrap();
+        let mut corrupted = pkt.clone();
+        corrupted.payload[2] ^= 4;
+        corrupted.vcrc = corrupted.compute_vcrc();
+        assert_eq!(receiver.verify_packet(&corrupted), Err(AuthError::BadIcrc));
+    }
+
+    #[test]
+    fn unknown_selector_rejected() {
+        let (_, receiver, pkey, _) = partition_pair();
+        let mut pkt = ud_packet(pkey, QKey(7), Qpn(3), 5, b"x");
+        pkt.set_auth_tag(0x77, 0);
+        assert_eq!(receiver.verify_packet(&pkt), Err(AuthError::UnknownSelector(0x77)));
+    }
+
+    #[test]
+    fn missing_key_is_nokey() {
+        let (sender, _, pkey, _) = partition_pair();
+        let receiver = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::Partition);
+        let mut pkt = ud_packet(pkey, QKey(7), Qpn(3), 5, b"x");
+        sender.tag_packet(&mut pkt).unwrap();
+        assert_eq!(receiver.verify_packet(&pkt), Err(AuthError::NoKey));
+    }
+
+    #[test]
+    fn qp_level_datagram_scope() {
+        let secret = SecretKey::from_seed(7);
+        let qkey = QKey(0x2000);
+        let src_qp = Qpn(4);
+        let mut sender = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::QpLevel);
+        sender.keys.install_datagram_secret(qkey, src_qp, secret);
+        let mut receiver = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::QpLevel);
+        receiver.keys.install_datagram_secret(qkey, src_qp, secret);
+
+        let mut pkt = ud_packet(PKey(0x8001), qkey, src_qp, 9, b"qp-scoped");
+        sender.tag_packet(&mut pkt).unwrap();
+        receiver.verify_packet(&pkt).unwrap();
+
+        // A different source QP using the same Q_Key doesn't verify —
+        // that's the Figure 3 (Q_Key, src QP) index working.
+        let mut other = ud_packet(PKey(0x8001), qkey, Qpn(5), 9, b"qp-scoped");
+        assert_eq!(sender.tag_packet(&mut other), Err(AuthError::NoKey));
+    }
+
+    #[test]
+    fn qp_level_connected_scope() {
+        let secret = SecretKey::from_seed(8);
+        let mut sender = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::QpLevel);
+        let mut receiver = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::QpLevel);
+        // Both sides index by the wire-visible destination QP.
+        sender.keys.install_connection_secret(Qpn(9), secret);
+        receiver.keys.install_connection_secret(Qpn(9), secret);
+        let mut pkt = PacketBuilder::new(OpCode::RC_SEND_ONLY)
+            .slid(Lid(1))
+            .dlid(Lid(2))
+            .pkey(PKey(0x8001))
+            .dest_qp(Qpn(9))
+            .psn(Psn(33))
+            .payload(b"connected".to_vec())
+            .build();
+        sender.tag_packet(&mut pkt).unwrap();
+        receiver.verify_packet(&pkt).unwrap();
+    }
+
+    #[test]
+    fn all_algorithms_roundtrip() {
+        for alg in &AuthAlgorithm::ALL[1..] {
+            let pkey = PKey(0x8001);
+            let secret = SecretKey::from_seed(1234);
+            let mut sender = Authenticator::new(*alg, KeyScope::Partition);
+            sender.keys.install_partition_secret(pkey, secret);
+            let mut receiver = Authenticator::new(*alg, KeyScope::Partition);
+            receiver.keys.install_partition_secret(pkey, secret);
+            let mut pkt = ud_packet(pkey, QKey(1), Qpn(1), 77, b"alg sweep");
+            sender.tag_packet(&mut pkt).unwrap();
+            receiver.verify_packet(&pkt).unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "absence of authentication")]
+    fn icrc_is_not_an_authenticator() {
+        let _ = Authenticator::new(AuthAlgorithm::Icrc, KeyScope::Partition);
+    }
+}

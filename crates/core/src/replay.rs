@@ -1,0 +1,178 @@
+//! Replay defense (§7 "More DoS Attacks … Replay attack"): "This can be
+//! avoided by using timestamps or sequence numbers, referred to as nonce.
+//! Consecutive packets use different nonce, so the replayed packets will be
+//! found illegal."
+//!
+//! The PSN already serves as the MAC nonce, so a replayed packet carries a
+//! *valid* tag for an *old* PSN. [`ReplayWindow`] is the receiver-side
+//! anti-replay bookkeeping — an IPSec-style sliding bitmap window (RFC
+//! 2401 appendix C style), sized for out-of-order arrival in a multipath
+//! fabric.
+
+/// Sliding-window replay tracker over 24-bit PSNs (tracked internally as
+/// monotonically increasing u64 to sidestep wrap ambiguity; callers feed
+/// [`ReplayWindow::accept`] the unwrapped sequence — see
+/// [`ReplayWindow::accept_psn`] for the wrap-aware convenience).
+#[derive(Debug, Clone)]
+pub struct ReplayWindow {
+    /// Highest sequence accepted so far (None until the first packet).
+    top: Option<u64>,
+    /// Bitmap of the `window` sequences at and below `top`:
+    /// bit k set ⇒ (top - k) seen.
+    bitmap: u64,
+    window: u32,
+    /// Count of rejected (replayed or too-old) packets.
+    pub rejected: u64,
+}
+
+/// 24-bit PSN modulus.
+const PSN_MOD: u64 = 1 << 24;
+
+impl ReplayWindow {
+    /// A window accepting up to `window` (≤ 64) out-of-order sequences.
+    pub fn new(window: u32) -> Self {
+        ReplayWindow { top: None, bitmap: 0, window: window.clamp(1, 64), rejected: 0 }
+    }
+
+    /// Offer an unwrapped sequence number. Returns true if fresh (and
+    /// records it); false if a replay or older than the window.
+    pub fn accept(&mut self, seq: u64) -> bool {
+        match self.top {
+            None => {
+                self.top = Some(seq);
+                self.bitmap = 1;
+                true
+            }
+            Some(top) if seq > top => {
+                let shift = seq - top;
+                self.bitmap = if shift >= 64 { 0 } else { self.bitmap << shift };
+                self.bitmap |= 1;
+                self.top = Some(seq);
+                true
+            }
+            Some(top) => {
+                let age = top - seq;
+                if age >= self.window as u64 {
+                    self.rejected += 1;
+                    return false; // too old to judge: reject conservatively
+                }
+                let bit = 1u64 << age;
+                if self.bitmap & bit != 0 {
+                    self.rejected += 1;
+                    false
+                } else {
+                    self.bitmap |= bit;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Offer a raw 24-bit PSN; the window unwraps it against the current
+    /// top using shortest-distance logic (a PSN less than half the space
+    /// ahead counts as forward progress, otherwise as a late/replayed
+    /// packet from just behind).
+    pub fn accept_psn(&mut self, psn: u32) -> bool {
+        let psn = psn as u64 & (PSN_MOD - 1);
+        let seq = match self.top {
+            None => psn,
+            Some(top) => {
+                let top_phase = top % PSN_MOD;
+                // Forward distance from top's phase to this PSN, 0..2^24.
+                let d = (psn + PSN_MOD - top_phase) % PSN_MOD;
+                if d == 0 {
+                    top // same phase as top: a replay of top itself
+                } else if d <= PSN_MOD / 2 {
+                    top + d // forward progress (possibly across a wrap)
+                } else {
+                    // Nearer behind top: back off by the complement; if the
+                    // unwrapped sequence would precede 0, treat as forward.
+                    top.checked_sub(PSN_MOD - d).unwrap_or(top + d)
+                }
+            }
+        };
+        self.accept(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_accepted_once() {
+        let mut w = ReplayWindow::new(64);
+        for s in 0..100 {
+            assert!(w.accept(s), "fresh {s}");
+        }
+        for s in 90..100 {
+            assert!(!w.accept(s), "replay {s}");
+        }
+        assert_eq!(w.rejected, 10);
+    }
+
+    #[test]
+    fn out_of_order_within_window() {
+        let mut w = ReplayWindow::new(16);
+        assert!(w.accept(10));
+        assert!(w.accept(12));
+        assert!(w.accept(11), "late but fresh");
+        assert!(!w.accept(11), "now a replay");
+        assert!(!w.accept(12));
+        assert!(!w.accept(10));
+    }
+
+    #[test]
+    fn too_old_rejected() {
+        let mut w = ReplayWindow::new(8);
+        assert!(w.accept(100));
+        assert!(!w.accept(92), "exactly window-old is out");
+        assert!(w.accept(93), "window-1 old is in");
+    }
+
+    #[test]
+    fn large_jump_clears_bitmap() {
+        let mut w = ReplayWindow::new(64);
+        assert!(w.accept(5));
+        assert!(w.accept(5 + 100));
+        assert!(!w.accept(5 + 100));
+        // 5 is far below the window now.
+        assert!(!w.accept(5));
+    }
+
+    #[test]
+    fn first_packet_any_sequence() {
+        let mut w = ReplayWindow::new(32);
+        assert!(w.accept(123_456));
+        assert!(!w.accept(123_456));
+    }
+
+    #[test]
+    fn psn_wrap_forward() {
+        let mut w = ReplayWindow::new(32);
+        assert!(w.accept_psn(0xFF_FFFE));
+        assert!(w.accept_psn(0xFF_FFFF));
+        assert!(w.accept_psn(0x00_0000), "wraps forward");
+        assert!(w.accept_psn(0x00_0001));
+        assert!(!w.accept_psn(0x00_0000), "replay after wrap");
+        assert!(!w.accept_psn(0xFF_FFFF), "pre-wrap replay still caught");
+    }
+
+    #[test]
+    fn psn_slightly_behind_is_late_not_wrap() {
+        let mut w = ReplayWindow::new(32);
+        assert!(w.accept_psn(100));
+        assert!(w.accept_psn(102));
+        assert!(w.accept_psn(101), "late delivery");
+        assert!(!w.accept_psn(101));
+    }
+
+    #[test]
+    fn rejected_counter() {
+        let mut w = ReplayWindow::new(8);
+        w.accept(1);
+        w.accept(1);
+        w.accept(1);
+        assert_eq!(w.rejected, 2);
+    }
+}

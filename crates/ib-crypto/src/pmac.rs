@@ -1,0 +1,252 @@
+//! PMAC — a fully parallelizable block-cipher MAC (Black & Rogaway,
+//! EUROCRYPT 2002), cited by the paper's §7 as a candidate for "faster
+//! InfiniBand" authentication because every block can be processed by an
+//! independent hardware lane (NIST considered it as an authentication mode
+//! of operation).
+//!
+//! Construction over AES-128:
+//!
+//! ```text
+//! L        = AES_K(0¹²⁸)
+//! offset_i = γᵢ · L          (Gray-code multiples in GF(2¹²⁸))
+//! Σ        = ⊕ᵢ AES_K(Mᵢ ⊕ offset_i)         for full blocks 1..n-1
+//! final    = Mₙ padded 10*  → Σ ⊕ pad, tweaked by whether Mₙ was full
+//! tag      = msb₃₂( AES_K(Σ ⊕ tweak·L) ) ⊕ pad(nonce)
+//! ```
+//!
+//! Each `AES_K(Mᵢ ⊕ offset_i)` term is independent of every other, so the
+//! XOR-accumulation can be computed in any order — [`Pmac::tag32_chunked`]
+//! exposes that by letting callers hash disjoint block ranges separately and
+//! combine, which the ablation bench uses to demonstrate linear speedup.
+//!
+//! The nonce pad is an addition relative to classic (deterministic) PMAC; it
+//! makes tags single-use like UMAC's, which the ICRC-as-MAC scheme requires
+//! for replay resistance.
+
+use crate::aes::Aes128;
+
+/// Doubling in GF(2^128) with the standard x^128 + x^7 + x^2 + x + 1 modulus.
+#[inline]
+fn dbl(block: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let carry = block[0] >> 7;
+    for i in 0..15 {
+        out[i] = (block[i] << 1) | (block[i + 1] >> 7);
+    }
+    out[15] = block[15] << 1;
+    if carry != 0 {
+        out[15] ^= 0x87;
+    }
+    out
+}
+
+#[inline]
+fn xor16(a: &mut [u8; 16], b: &[u8; 16]) {
+    for i in 0..16 {
+        a[i] ^= b[i];
+    }
+}
+
+/// A keyed PMAC instance.
+#[derive(Clone)]
+pub struct Pmac {
+    aes: Aes128,
+    /// L = AES_K(0), and its doublings L·x, L·x² for the offset schedule.
+    l: [u8; 16],
+    l_inv: [u8; 16], // L·x⁻¹ equivalent tweak for full final blocks (we use L·x²)
+}
+
+impl Pmac {
+    /// Derive a PMAC instance from a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let aes = Aes128::new(key);
+        let mut l = [0u8; 16];
+        aes.encrypt_block(&mut l);
+        let l_inv = dbl(&dbl(&l)); // tweak used when the final block is full
+        Pmac { aes, l, l_inv }
+    }
+
+    /// Offset for block index `i` (0-based): the Gray-code schedule is
+    /// equivalent to `offset_{i} = offset_{i-1} ⊕ L·x^{ntz(i)}`; computing it
+    /// directly from the index keeps block processing order-independent,
+    /// which is what makes the chunked/parallel API possible.
+    fn offset(&self, i: u64) -> [u8; 16] {
+        // gray(i+1) = (i+1) ^ ((i+1)>>1); offset = Σ bits of gray * L·x^bit
+        let gray = (i + 1) ^ ((i + 1) >> 1);
+        let mut acc = [0u8; 16];
+        let mut power = self.l;
+        let mut g = gray;
+        while g != 0 {
+            if g & 1 != 0 {
+                xor16(&mut acc, &power);
+            }
+            power = dbl(&power);
+            g >>= 1;
+        }
+        acc
+    }
+
+    /// XOR-accumulate the PMAC contribution of full 16-byte blocks
+    /// `[first_index, first_index + blocks.len()/16)`. Callers may split the
+    /// full-block prefix of a message into ranges, process them on separate
+    /// threads, and XOR the partial sums.
+    pub fn accumulate(&self, first_index: u64, blocks: &[u8], sigma: &mut [u8; 16]) {
+        debug_assert_eq!(blocks.len() % 16, 0);
+        for (k, chunk) in blocks.chunks_exact(16).enumerate() {
+            let mut b: [u8; 16] = chunk.try_into().unwrap();
+            xor16(&mut b, &self.offset(first_index + k as u64));
+            self.aes.encrypt_block(&mut b);
+            xor16(sigma, &b);
+        }
+    }
+
+    /// Fold the final (possibly partial) block into an accumulated sigma
+    /// and produce the tag. Public so external parallel drivers can combine
+    /// [`Pmac::accumulate`] partial sums themselves and finish here.
+    pub fn finalize_sigma(&self, mut sigma: [u8; 16], last: &[u8], nonce: u64) -> u32 {
+        if last.len() == 16 {
+            let block: [u8; 16] = last.try_into().unwrap();
+            xor16(&mut sigma, &block);
+            xor16(&mut sigma, &self.l_inv);
+        } else {
+            let mut padded = [0u8; 16];
+            padded[..last.len()].copy_from_slice(last);
+            padded[last.len()] = 0x80;
+            xor16(&mut sigma, &padded);
+        }
+        self.aes.encrypt_block(&mut sigma);
+        let tag = u32::from_be_bytes([sigma[0], sigma[1], sigma[2], sigma[3]]);
+        // Nonce pad (see module docs).
+        let mut pad = [0u8; 16];
+        pad[0] = 0x07;
+        pad[8..16].copy_from_slice(&nonce.to_be_bytes());
+        self.aes.encrypt_block(&mut pad);
+        tag ^ u32::from_be_bytes([pad[0], pad[1], pad[2], pad[3]])
+    }
+
+    /// Split a message into the blocks PMAC accumulates and the final block
+    /// it folds in at the end. An empty message has an empty final block.
+    pub fn split(message: &[u8]) -> (&[u8], &[u8]) {
+        if message.is_empty() {
+            return (&[], &[]);
+        }
+        // The last block is 1..=16 bytes; everything before is full blocks.
+        let last_len = match message.len() % 16 {
+            0 => 16,
+            r => r,
+        };
+        message.split_at(message.len() - last_len)
+    }
+
+    /// One-shot 32-bit tag.
+    pub fn tag32(&self, nonce: u64, message: &[u8]) -> u32 {
+        let (full, last) = Self::split(message);
+        let mut sigma = [0u8; 16];
+        self.accumulate(0, full, &mut sigma);
+        self.finalize_sigma(sigma, last, nonce)
+    }
+
+    /// Tag computed by accumulating the full-block prefix in `chunks`-many
+    /// independently-computed partial sums (sequentially here; the point is
+    /// that the partial sums commute, which the test below verifies and the
+    /// bench exploits with real threads).
+    pub fn tag32_chunked(&self, nonce: u64, message: &[u8], chunks: usize) -> u32 {
+        let (full, last) = Self::split(message);
+        let nblocks = full.len() / 16;
+        let chunks = chunks.max(1);
+        let per = nblocks.div_ceil(chunks).max(1);
+        let mut sigma = [0u8; 16];
+        let mut idx = 0usize;
+        while idx < nblocks {
+            let end = (idx + per).min(nblocks);
+            let mut partial = [0u8; 16];
+            self.accumulate(idx as u64, &full[idx * 16..end * 16], &mut partial);
+            xor16(&mut sigma, &partial);
+            idx = end;
+        }
+        self.finalize_sigma(sigma, last, nonce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbl_known_behaviour() {
+        // Doubling zero is zero; doubling with a high bit set applies 0x87.
+        assert_eq!(dbl(&[0u8; 16]), [0u8; 16]);
+        let mut one = [0u8; 16];
+        one[15] = 1;
+        let mut two = [0u8; 16];
+        two[15] = 2;
+        assert_eq!(dbl(&one), two);
+        let mut high = [0u8; 16];
+        high[0] = 0x80;
+        let d = dbl(&high);
+        assert_eq!(d[15], 0x87);
+        assert_eq!(&d[..15], &[0u8; 15]);
+    }
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let p = Pmac::new(b"pmac key 16 byte");
+        assert_eq!(p.tag32(5, b"abc"), p.tag32(5, b"abc"));
+        assert_ne!(p.tag32(5, b"abc"), p.tag32(6, b"abc"));
+        assert_ne!(p.tag32(5, b"abc"), p.tag32(5, b"abd"));
+        let q = Pmac::new(b"pmac KEY 16 byte");
+        assert_ne!(p.tag32(5, b"abc"), q.tag32(5, b"abc"));
+    }
+
+    #[test]
+    fn block_boundary_sensitivity() {
+        let p = Pmac::new(b"pmac key 16 byte");
+        for len in [15usize, 16, 17, 31, 32, 33, 64, 100] {
+            let m1 = vec![0x42u8; len];
+            let mut m2 = m1.clone();
+            *m2.last_mut().unwrap() ^= 1;
+            assert_ne!(p.tag32(1, &m1), p.tag32(1, &m2), "len {len}");
+        }
+    }
+
+    #[test]
+    fn full_vs_padded_final_block_distinct() {
+        // A 16-byte message and the same message padded with 0x80 0x00...
+        // must not collide (the l_inv tweak provides the separation).
+        let p = Pmac::new(b"pmac key 16 byte");
+        let full = [0x11u8; 16];
+        let mut padded_form = [0u8; 16];
+        padded_form[..5].copy_from_slice(&[0x11; 5]);
+        // Not a rigorous proof, just a regression check on the tweak logic.
+        assert_ne!(p.tag32(1, &full), p.tag32(1, &padded_form[..5]));
+    }
+
+    #[test]
+    fn chunked_matches_sequential() {
+        let p = Pmac::new(b"parallel pmac!!!");
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7) as u8).collect();
+        let reference = p.tag32(3, &data);
+        for chunks in [1usize, 2, 3, 4, 7, 16, 100] {
+            assert_eq!(p.tag32_chunked(3, &data, chunks), reference, "{chunks} chunks");
+        }
+    }
+
+    #[test]
+    fn empty_message() {
+        let p = Pmac::new(b"pmac key 16 byte");
+        assert_eq!(p.tag32(1, b""), p.tag32(1, b""));
+        assert_ne!(p.tag32(1, b""), p.tag32(2, b""));
+        assert_ne!(p.tag32(1, b""), p.tag32(1, b"\x00"));
+    }
+
+    #[test]
+    fn offsets_are_distinct() {
+        let p = Pmac::new(b"pmac key 16 byte");
+        let offsets: Vec<[u8; 16]> = (0..64).map(|i| p.offset(i)).collect();
+        for i in 0..offsets.len() {
+            for j in i + 1..offsets.len() {
+                assert_ne!(offsets[i], offsets[j], "offset {i} == offset {j}");
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! SHA-1 message digest (FIPS 180-1), implemented from the specification.
+//!
+//! SHA-1 underlies HMAC-SHA1, the slowest but (in 2005) strongest MAC in the
+//! paper's Table 4 (12.6 cycles/byte). Like MD5, it is reproduced for the
+//! evaluation, not recommended for new designs.
+
+use crate::digest::Digest;
+
+/// Streaming SHA-1 state.
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Sha1 {
+    fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) =
+            (state[0], state[1], state[2], state[3], state[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((b & c) | (!b & d), 0x5A827999),
+                1 => (b ^ c ^ d, 0x6ED9EBA1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+    }
+
+    /// One-shot SHA-1 digest.
+    pub fn hash(data: &[u8]) -> [u8; 20] {
+        let mut h = Self::new();
+        h.update(data);
+        let mut out = [0u8; 20];
+        Digest::finalize_into(h, &mut out);
+        out
+    }
+}
+
+impl Digest for Sha1 {
+    const OUTPUT_LEN: usize = 20;
+    const BLOCK_LEN: usize = 64;
+
+    fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                Self::compress(&mut self.state, &block);
+                self.buf_len = 0;
+            } else {
+                // Data exhausted into the partial buffer; don't fall through
+                // to the remainder logic, which would clobber buf_len.
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            Self::compress(&mut self.state, chunk.try_into().unwrap());
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    fn finalize_into(mut self, out: &mut [u8]) {
+        let bit_len = self.len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        Self::compress(&mut self.state, &block);
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::hex;
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(
+            hex(&Sha1::hash(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&Sha1::hash(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            hex(&Sha1::hash(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&Sha1::hash(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..1500u32).map(|i| (i % 253) as u8).collect();
+        for split in [0, 1, 63, 64, 65, 512, 1499, 1500] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            let mut out = [0u8; 20];
+            Digest::finalize_into(h, &mut out);
+            assert_eq!(out, Sha1::hash(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn padding_edges() {
+        for len in [55usize, 56, 57, 63, 64, 65, 127, 128] {
+            let data = vec![0x5Au8; len];
+            let one = Sha1::hash(&data);
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            let mut out = [0u8; 20];
+            Digest::finalize_into(h, &mut out);
+            assert_eq!(out, one, "len {len}");
+        }
+    }
+}

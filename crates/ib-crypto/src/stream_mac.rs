@@ -1,0 +1,210 @@
+//! A stream-cipher integrity check in the style of Lai-Rueppel-Woollven and
+//! Taylor (paper §7: "use a stream cipher MAC where MAC can be made while
+//! transferring data").
+//!
+//! The construction is a polynomial-evaluation MAC over GF(2³²) (the same
+//! algebra as GMAC, truncated to the 32-bit ICRC field):
+//!
+//! ```text
+//! state ← 0
+//! for each 32-bit word m of the message:  state ← (state ⊕ m) ⊗ h
+//! tag = state ⊕ pad(nonce)
+//! ```
+//!
+//! where `h` is a key-derived field point, `⊗` is carry-less multiplication
+//! modulo the CRC-32 polynomial `x³² + x²⁶ + ... + 1` (0x04C11DB7), and the
+//! pad is an AES-CTR word keyed by the nonce. Because the state update needs
+//! only the next word, the tag is computed *while the packet streams through
+//! the link layer* — no second pass, which is exactly the property §7 wants
+//! for keeping MAC generation off the critical path.
+//!
+//! NOTE: the CRC-32 polynomial is *not irreducible*, so GF arithmetic here
+//! is over a ring, not a field; we deliberately keep it to show that the
+//! hardware CRC datapath (LFSR + XOR tree) can be reused. The weakened
+//! forgery bound relative to UMAC is reported honestly in
+//! [`crate::mac::AuthAlgorithm::forgery_log2`].
+
+use crate::aes::Aes128;
+
+/// The CRC-32 generator polynomial (without the x^32 term), the reduction
+/// modulus for the ring multiplication.
+const POLY: u32 = 0x04C1_1DB7;
+
+/// Carry-less multiply of two 32-bit ring elements modulo the CRC-32
+/// polynomial.
+#[inline]
+pub fn clmul_mod(a: u32, b: u32) -> u32 {
+    let mut acc: u64 = 0;
+    for i in 0..32 {
+        if (b >> i) & 1 != 0 {
+            acc ^= (a as u64) << i;
+        }
+    }
+    // Reduce the 63-bit product.
+    for bit in (32..64).rev() {
+        if (acc >> bit) & 1 != 0 {
+            acc ^= ((POLY as u64) | (1 << 32)) << (bit - 32);
+        }
+    }
+    acc as u32
+}
+
+/// A keyed streaming MAC. Clone-cheap; `update` may be called word-by-word
+/// as data arrives off the wire.
+#[derive(Clone)]
+pub struct StreamMac {
+    aes: Aes128,
+    h: u32,
+}
+
+/// In-flight state for one message.
+#[derive(Clone, Copy)]
+pub struct StreamMacState {
+    acc: u32,
+    /// Bytes seen so far (folded in at the end so lengths are domain-separated).
+    len: u64,
+    /// Partial word buffer.
+    partial: [u8; 4],
+    partial_len: usize,
+}
+
+impl StreamMac {
+    /// Derive the MAC key point `h` from a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let aes = Aes128::new(key);
+        let mut block = [0u8; 16];
+        block[0] = 0x05; // domain separation from the UMAC KDF markers
+        aes.encrypt_block(&mut block);
+        let mut h = u32::from_be_bytes([block[0], block[1], block[2], block[3]]);
+        if h == 0 {
+            h = 1; // h = 0 would absorb the whole message
+        }
+        StreamMac { aes, h }
+    }
+
+    /// Begin a new message.
+    pub fn start(&self) -> StreamMacState {
+        StreamMacState { acc: 0, len: 0, partial: [0; 4], partial_len: 0 }
+    }
+
+    /// Absorb bytes as they stream past.
+    pub fn update(&self, st: &mut StreamMacState, mut data: &[u8]) {
+        st.len += data.len() as u64;
+        if st.partial_len > 0 {
+            let take = (4 - st.partial_len).min(data.len());
+            st.partial[st.partial_len..st.partial_len + take].copy_from_slice(&data[..take]);
+            st.partial_len += take;
+            data = &data[take..];
+            if st.partial_len == 4 {
+                let w = u32::from_le_bytes(st.partial);
+                st.acc = clmul_mod(st.acc ^ w, self.h);
+                st.partial_len = 0;
+            } else {
+                // Data exhausted into the partial word; don't fall through
+                // to the remainder logic, which would clobber partial_len.
+                return;
+            }
+        }
+        let mut words = data.chunks_exact(4);
+        for w in &mut words {
+            let w = u32::from_le_bytes(w.try_into().unwrap());
+            st.acc = clmul_mod(st.acc ^ w, self.h);
+        }
+        let rem = words.remainder();
+        st.partial[..rem.len()].copy_from_slice(rem);
+        st.partial_len = rem.len();
+    }
+
+    /// Finish the message under `nonce`, producing the 32-bit tag.
+    pub fn finish(&self, mut st: StreamMacState, nonce: u64) -> u32 {
+        if st.partial_len > 0 {
+            let mut padded = [0u8; 4];
+            padded[..st.partial_len].copy_from_slice(&st.partial[..st.partial_len]);
+            let w = u32::from_le_bytes(padded);
+            st.acc = clmul_mod(st.acc ^ w, self.h);
+        }
+        // Fold in the length, then one more ring multiply.
+        st.acc = clmul_mod(st.acc ^ (st.len as u32) ^ ((st.len >> 32) as u32), self.h);
+        let mut block = [0u8; 16];
+        block[0] = 0x06;
+        block[8..16].copy_from_slice(&nonce.to_be_bytes());
+        self.aes.encrypt_block(&mut block);
+        st.acc ^ u32::from_be_bytes([block[0], block[1], block[2], block[3]])
+    }
+
+    /// One-shot tag.
+    pub fn tag32(&self, nonce: u64, message: &[u8]) -> u32 {
+        let mut st = self.start();
+        self.update(&mut st, message);
+        self.finish(st, nonce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clmul_identity_and_zero() {
+        for a in [0u32, 1, 0xDEADBEEF, 0xFFFFFFFF] {
+            assert_eq!(clmul_mod(a, 1), a);
+            assert_eq!(clmul_mod(a, 0), 0);
+            assert_eq!(clmul_mod(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn clmul_commutes_and_distributes() {
+        let samples = [1u32, 3, 0x8000_0001, 0x04C1_1DB7, 0xFFFF_FFFE];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(clmul_mod(a, b), clmul_mod(b, a));
+                for &c in &samples {
+                    assert_eq!(clmul_mod(a ^ b, c), clmul_mod(a, c) ^ clmul_mod(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mac = StreamMac::new(b"stream mac key!!");
+        let data: Vec<u8> = (0..517u32).map(|i| (i * 13) as u8).collect();
+        for split in [0usize, 1, 2, 3, 4, 5, 100, 516, 517] {
+            let mut st = mac.start();
+            mac.update(&mut st, &data[..split]);
+            mac.update(&mut st, &data[split..]);
+            assert_eq!(mac.finish(st, 9), mac.tag32(9, &data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn sensitivity() {
+        let mac = StreamMac::new(b"stream mac key!!");
+        let t = mac.tag32(1, b"hello world!");
+        assert_ne!(t, mac.tag32(2, b"hello world!"));
+        assert_ne!(t, mac.tag32(1, b"hello world?"));
+        let mac2 = StreamMac::new(b"other  mac key!!");
+        assert_ne!(t, mac2.tag32(1, b"hello world!"));
+    }
+
+    #[test]
+    fn length_domain_separation() {
+        let mac = StreamMac::new(b"stream mac key!!");
+        assert_ne!(mac.tag32(1, &[0u8; 4]), mac.tag32(1, &[0u8; 8]));
+        assert_ne!(mac.tag32(1, &[]), mac.tag32(1, &[0u8]));
+    }
+
+    #[test]
+    fn word_by_word_streaming() {
+        // The property §7 cares about: feed one byte at a time, as if bytes
+        // were arriving from the wire, and still get the same tag.
+        let mac = StreamMac::new(b"0123456789abcdef");
+        let data = b"packet flowing through the link layer";
+        let mut st = mac.start();
+        for b in data.iter() {
+            mac.update(&mut st, std::slice::from_ref(b));
+        }
+        assert_eq!(mac.finish(st, 77), mac.tag32(77, data));
+    }
+}

@@ -1,0 +1,358 @@
+//! Authentication-key management — §4.2 (partition-level) and §4.3
+//! (QP-level) of the paper.
+//!
+//! Both schemes produce 16-byte MAC secrets and differ only in granularity
+//! and exchange cost:
+//!
+//! * **Partition-level** (Figure 2): the SM generates one secret per
+//!   partition at creation time and ships it to every member CA under that
+//!   CA's public key. Lookup: `P_Key → secret`. Zero per-connection
+//!   exchange cost (the Figure 6 "No Key ≈ With Key" result for this mode),
+//!   but every QP in the partition shares the secret.
+//! * **QP-level** (Figure 3): connection-oriented QPs exchange a secret at
+//!   connect time; datagram QPs mint a fresh secret on every Q_Key request.
+//!   Lookup needs `(Q_Key, source QP)` because one QP may issue many
+//!   secrets — exactly the Node A table of Figure 3. Costs one RTT per new
+//!   peer, which the simulator charges.
+//!
+//! Public-key transport uses [`ib_crypto::toyrsa`] (a documented
+//! simulation of the paper's PKI assumption).
+
+use std::collections::HashMap;
+
+use ib_crypto::toyrsa::{self, PrivateKey, PublicKey};
+use ib_packet::types::{PKey, QKey, Qpn};
+
+/// A 16-byte MAC secret (the key for UMAC/HMAC/PMAC instances).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecretKey(pub [u8; 16]);
+
+impl SecretKey {
+    /// Derive deterministically from a seed (simulation reproducibility).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut s = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).max(1);
+        let mut out = [0u8; 16];
+        for chunk in out.chunks_mut(8) {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            chunk.copy_from_slice(&s.to_le_bytes());
+        }
+        SecretKey(out)
+    }
+}
+
+/// An encrypted secret key in flight (the toy-RSA envelope).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyEnvelope {
+    pub ciphertext: Vec<u64>,
+}
+
+impl KeyEnvelope {
+    /// Seal `secret` to `recipient`.
+    pub fn seal(secret: &SecretKey, recipient: &PublicKey) -> Self {
+        KeyEnvelope { ciphertext: toyrsa::encrypt(recipient, &secret.0) }
+    }
+
+    /// Open with the recipient's private key.
+    pub fn open(&self, key: &PrivateKey) -> Option<SecretKey> {
+        let bytes = toyrsa::decrypt(key, &self.ciphertext)?;
+        let arr: [u8; 16] = bytes.try_into().ok()?;
+        Some(SecretKey(arr))
+    }
+}
+
+/// SM-side partition-level key manager (§4.2).
+#[derive(Debug, Default)]
+pub struct PartitionKeyManager {
+    secrets: HashMap<PKey, SecretKey>,
+    counter: u64,
+    seed: u64,
+}
+
+impl PartitionKeyManager {
+    /// Deterministic manager for a simulation seed.
+    pub fn new(seed: u64) -> Self {
+        PartitionKeyManager { secrets: HashMap::new(), counter: 0, seed }
+    }
+
+    /// Create (or look up) the secret for a partition. "When the SM creates
+    /// a partition, it generates a secret key for that partition."
+    pub fn create_partition(&mut self, pkey: PKey) -> SecretKey {
+        self.counter += 1;
+        let seed = self.seed ^ (self.counter << 17) ^ pkey.0 as u64;
+        *self.secrets.entry(pkey).or_insert_with(|| SecretKey::from_seed(seed))
+    }
+
+    /// The secret for `pkey`, if the partition exists.
+    pub fn secret(&self, pkey: PKey) -> Option<SecretKey> {
+        self.secrets.get(&pkey).copied()
+    }
+
+    /// Envelope the partition secret for one member CA.
+    pub fn distribute(&self, pkey: PKey, member: &PublicKey) -> Option<KeyEnvelope> {
+        Some(KeyEnvelope::seal(self.secrets.get(&pkey)?, member))
+    }
+}
+
+/// CA-side key tables — the per-node tables of Figures 2 and 3 combined.
+#[derive(Debug, Default)]
+pub struct NodeKeyTable {
+    /// Figure 2: P_Key → partition secret.
+    partition: HashMap<PKey, SecretKey>,
+    /// Figure 3 (datagram): (my Q_Key, peer source QP) → secret.
+    datagram: HashMap<(QKey, Qpn), SecretKey>,
+    /// Connected service: local QP → secret shared with its bound peer.
+    connection: HashMap<Qpn, SecretKey>,
+}
+
+impl NodeKeyTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a partition secret received from the SM.
+    pub fn install_partition_secret(&mut self, pkey: PKey, secret: SecretKey) {
+        self.partition.insert(pkey, secret);
+    }
+
+    /// Look up by P_Key (partition-level authentication).
+    pub fn partition_secret(&self, pkey: PKey) -> Option<SecretKey> {
+        self.partition.get(&pkey).copied()
+    }
+
+    /// Install a per-(Q_Key, source QP) datagram secret.
+    pub fn install_datagram_secret(&mut self, qkey: QKey, src_qp: Qpn, secret: SecretKey) {
+        self.datagram.insert((qkey, src_qp), secret);
+    }
+
+    /// Figure 3 lookup: "to index a secret key, both Q_Key and source QP
+    /// are necessary."
+    pub fn datagram_secret(&self, qkey: QKey, src_qp: Qpn) -> Option<SecretKey> {
+        self.datagram.get(&(qkey, src_qp)).copied()
+    }
+
+    /// Install a connection secret for a bound QP.
+    pub fn install_connection_secret(&mut self, local_qp: Qpn, secret: SecretKey) {
+        self.connection.insert(local_qp, secret);
+    }
+
+    /// Look up the connection secret for a bound QP.
+    pub fn connection_secret(&self, local_qp: Qpn) -> Option<SecretKey> {
+        self.connection.get(&local_qp).copied()
+    }
+
+    /// Total stored secrets (memory accounting).
+    pub fn len(&self) -> usize {
+        self.partition.len() + self.datagram.len() + self.connection.len()
+    }
+
+    /// Whether no secrets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// QP-level key manager for one node (§4.3): mints secrets for connection
+/// setup and Q_Key requests, sealing them to peer public keys.
+#[derive(Debug)]
+pub struct QpKeyManager {
+    counter: u64,
+    seed: u64,
+    /// Q_Keys this node has assigned to its datagram QPs.
+    qkeys: HashMap<Qpn, QKey>,
+    next_qkey: u32,
+}
+
+impl QpKeyManager {
+    /// Deterministic manager for a node.
+    pub fn new(seed: u64) -> Self {
+        QpKeyManager { counter: 0, seed, qkeys: HashMap::new(), next_qkey: 0x1000 }
+    }
+
+    fn mint(&mut self) -> SecretKey {
+        self.counter += 1;
+        SecretKey::from_seed(self.seed ^ (self.counter << 9) ^ 0xA5A5_5A5A)
+    }
+
+    /// Connection-oriented setup: "a QP that initiates the connection
+    /// creates a secret key and sends it to a destination QP."
+    /// Returns the secret (to install locally) and the envelope to send.
+    pub fn initiate_connection(&mut self, peer: &PublicKey) -> (SecretKey, KeyEnvelope) {
+        let secret = self.mint();
+        let env = KeyEnvelope::seal(&secret, peer);
+        (secret, env)
+    }
+
+    /// Assign (or return) the Q_Key for a local datagram QP.
+    pub fn qkey_for(&mut self, qp: Qpn) -> QKey {
+        if let Some(k) = self.qkeys.get(&qp) {
+            return *k;
+        }
+        let k = QKey(self.next_qkey);
+        self.next_qkey += 1;
+        self.qkeys.insert(qp, k);
+        k
+    }
+
+    /// Handle a Q_Key request from `requester_qp`: "a secret key is
+    /// generated at every Q_Key request, which gets encrypted by the
+    /// requester's public key before sending it."
+    ///
+    /// Returns what the responder must remember `(qkey, secret)` and the
+    /// reply to send `(qkey, envelope)`.
+    pub fn issue_qkey(
+        &mut self,
+        responder_qp: Qpn,
+        requester_pub: &PublicKey,
+    ) -> (QKey, SecretKey, KeyEnvelope) {
+        let qkey = self.qkey_for(responder_qp);
+        let secret = self.mint();
+        let env = KeyEnvelope::seal(&secret, requester_pub);
+        (qkey, secret, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_crypto::toyrsa::generate_keypair;
+
+    #[test]
+    fn secret_from_seed_deterministic_and_distinct() {
+        assert_eq!(SecretKey::from_seed(1), SecretKey::from_seed(1));
+        assert_ne!(SecretKey::from_seed(1), SecretKey::from_seed(2));
+        assert_ne!(SecretKey::from_seed(0), SecretKey::from_seed(1));
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let (pk, sk) = generate_keypair(11);
+        let secret = SecretKey::from_seed(99);
+        let env = KeyEnvelope::seal(&secret, &pk);
+        assert_eq!(env.open(&sk), Some(secret));
+    }
+
+    #[test]
+    fn envelope_wrong_key_fails_or_garbles() {
+        let (pk, _) = generate_keypair(11);
+        let (_, sk2) = generate_keypair(12);
+        let secret = SecretKey::from_seed(99);
+        let env = KeyEnvelope::seal(&secret, &pk);
+        assert_ne!(env.open(&sk2), Some(secret));
+    }
+
+    #[test]
+    fn partition_flow_figure2() {
+        // SM creates partitions I and II; nodes A, B share I; A, C share II.
+        let mut sm = PartitionKeyManager::new(7);
+        let (pk_a, sk_a) = generate_keypair(1);
+        let (pk_b, sk_b) = generate_keypair(2);
+        let (pk_c, sk_c) = generate_keypair(3);
+        let p1 = PKey(0x8001);
+        let p2 = PKey(0x8002);
+        let s_k1 = sm.create_partition(p1);
+        let s_k2 = sm.create_partition(p2);
+        assert_ne!(s_k1, s_k2);
+
+        let mut node_a = NodeKeyTable::new();
+        let mut node_b = NodeKeyTable::new();
+        let mut node_c = NodeKeyTable::new();
+        node_a.install_partition_secret(
+            p1,
+            sm.distribute(p1, &pk_a).unwrap().open(&sk_a).unwrap(),
+        );
+        node_a.install_partition_secret(
+            p2,
+            sm.distribute(p2, &pk_a).unwrap().open(&sk_a).unwrap(),
+        );
+        node_b.install_partition_secret(
+            p1,
+            sm.distribute(p1, &pk_b).unwrap().open(&sk_b).unwrap(),
+        );
+        node_c.install_partition_secret(
+            p2,
+            sm.distribute(p2, &pk_c).unwrap().open(&sk_c).unwrap(),
+        );
+
+        // A and B agree on S_K1; A and C on S_K2; B knows nothing of II.
+        assert_eq!(node_a.partition_secret(p1), Some(s_k1));
+        assert_eq!(node_b.partition_secret(p1), Some(s_k1));
+        assert_eq!(node_a.partition_secret(p2), Some(s_k2));
+        assert_eq!(node_c.partition_secret(p2), Some(s_k2));
+        assert_eq!(node_b.partition_secret(p2), None);
+    }
+
+    #[test]
+    fn create_partition_idempotent() {
+        let mut sm = PartitionKeyManager::new(7);
+        let a = sm.create_partition(PKey(0x8001));
+        let b = sm.create_partition(PKey(0x8001));
+        assert_eq!(a, b, "re-creating returns the existing secret");
+    }
+
+    #[test]
+    fn connection_flow() {
+        let (pk_b, sk_b) = generate_keypair(21);
+        let mut mgr_a = QpKeyManager::new(100);
+        let (secret, env) = mgr_a.initiate_connection(&pk_b);
+        let received = env.open(&sk_b).unwrap();
+        assert_eq!(received, secret);
+
+        let mut table_a = NodeKeyTable::new();
+        let mut table_b = NodeKeyTable::new();
+        table_a.install_connection_secret(Qpn(1), secret);
+        table_b.install_connection_secret(Qpn(9), received);
+        assert_eq!(
+            table_a.connection_secret(Qpn(1)),
+            table_b.connection_secret(Qpn(9))
+        );
+    }
+
+    #[test]
+    fn datagram_flow_figure3() {
+        // Node A's QP2 issues distinct secrets to QP4 (node B) and QP5
+        // (node C); A's table needs (Q_Key, src QP) to disambiguate.
+        let (pk_b, sk_b) = generate_keypair(31);
+        let (pk_c, sk_c) = generate_keypair(32);
+        let mut mgr_a = QpKeyManager::new(500);
+        let mut table_a = NodeKeyTable::new();
+
+        let (qk2, s_k2, env_b) = mgr_a.issue_qkey(Qpn(2), &pk_b);
+        table_a.install_datagram_secret(qk2, Qpn(4), s_k2);
+        let (qk2_again, s_k3, env_c) = mgr_a.issue_qkey(Qpn(2), &pk_c);
+        table_a.install_datagram_secret(qk2_again, Qpn(5), s_k3);
+
+        assert_eq!(qk2, qk2_again, "same QP keeps its Q_Key");
+        assert_ne!(s_k2, s_k3, "fresh secret per request");
+        assert_eq!(table_a.datagram_secret(qk2, Qpn(4)), Some(s_k2));
+        assert_eq!(table_a.datagram_secret(qk2, Qpn(5)), Some(s_k3));
+        assert_eq!(table_a.datagram_secret(qk2, Qpn(6)), None);
+
+        // Requesters decrypt their copies.
+        assert_eq!(env_b.open(&sk_b), Some(s_k2));
+        assert_eq!(env_c.open(&sk_c), Some(s_k3));
+        // And cross-decryption fails.
+        assert_ne!(env_b.open(&sk_c), Some(s_k2));
+    }
+
+    #[test]
+    fn distinct_qps_get_distinct_qkeys() {
+        let mut mgr = QpKeyManager::new(1);
+        let k1 = mgr.qkey_for(Qpn(1));
+        let k2 = mgr.qkey_for(Qpn(2));
+        assert_ne!(k1, k2);
+        assert_eq!(mgr.qkey_for(Qpn(1)), k1);
+    }
+
+    #[test]
+    fn node_table_len() {
+        let mut t = NodeKeyTable::new();
+        assert!(t.is_empty());
+        t.install_partition_secret(PKey(1), SecretKey::from_seed(1));
+        t.install_datagram_secret(QKey(2), Qpn(3), SecretKey::from_seed(2));
+        t.install_connection_secret(Qpn(4), SecretKey::from_seed(3));
+        assert_eq!(t.len(), 3);
+    }
+}

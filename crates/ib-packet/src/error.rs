@@ -1,0 +1,77 @@
+//! Parse and validation errors for IBA packets.
+
+use std::fmt;
+
+/// Why a byte buffer failed to parse as an IBA data packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Buffer shorter than the headers + CRCs it claims to contain.
+    Truncated { needed: usize, got: usize },
+    /// LRH link version other than 0.
+    BadLinkVersion(u8),
+    /// BTH transport version other than 0.
+    BadTransportVersion(u8),
+    /// LRH `LNH` names a next-header layout this crate does not model
+    /// (raw Ethertype / raw IPv6).
+    UnsupportedLnh(u8),
+    /// Unknown BTH opcode byte.
+    UnknownOpCode(u8),
+    /// LRH `PktLen` disagrees with the buffer length.
+    LengthMismatch { header_words: u16, actual_words: usize },
+    /// VCRC check failed (link-level corruption).
+    BadVcrc { expected: u16, got: u16 },
+    /// ICRC check failed — corruption, or an authentication tag checked as
+    /// a CRC (which is exactly what a non-upgraded receiver would see).
+    BadIcrc { expected: u32, got: u32 },
+    /// Packet exceeds the configured MTU.
+    TooLarge { len: usize, mtu: usize },
+    /// Padding count inconsistent with payload length.
+    BadPadCount { pad: u8, payload_len: usize },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { needed, got } => {
+                write!(f, "truncated packet: need {needed} bytes, got {got}")
+            }
+            ParseError::BadLinkVersion(v) => write!(f, "unsupported LRH link version {v}"),
+            ParseError::BadTransportVersion(v) => {
+                write!(f, "unsupported BTH transport version {v}")
+            }
+            ParseError::UnsupportedLnh(v) => write!(f, "unsupported LRH next-header code {v}"),
+            ParseError::UnknownOpCode(v) => write!(f, "unknown BTH opcode {v:#04x}"),
+            ParseError::LengthMismatch { header_words, actual_words } => write!(
+                f,
+                "LRH PktLen {header_words} words but buffer has {actual_words} words"
+            ),
+            ParseError::BadVcrc { expected, got } => {
+                write!(f, "VCRC mismatch: computed {expected:#06x}, packet has {got:#06x}")
+            }
+            ParseError::BadIcrc { expected, got } => {
+                write!(f, "ICRC mismatch: computed {expected:#010x}, packet has {got:#010x}")
+            }
+            ParseError::TooLarge { len, mtu } => {
+                write!(f, "payload {len} bytes exceeds MTU {mtu}")
+            }
+            ParseError::BadPadCount { pad, payload_len } => {
+                write!(f, "pad count {pad} inconsistent with payload length {payload_len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::Truncated { needed: 26, got: 10 };
+        assert!(e.to_string().contains("26"));
+        let e = ParseError::BadIcrc { expected: 1, got: 2 };
+        assert!(e.to_string().contains("ICRC"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Extended Transport Headers (IBA spec §9.3): DETH, RETH, AETH, and
+//! immediate data.
+//!
+//! The DETH carries the plaintext **Q_Key** and the RETH the plaintext
+//! **R_Key** — the two extended-header keys whose exposure the paper's
+//! Table 3 analyzes. Both travel inside ICRC coverage, so under the
+//! ICRC-as-MAC scheme they become *authenticated* fields: knowing a leaked
+//! key is no longer enough to forge a packet that verifies.
+
+use crate::error::ParseError;
+use crate::types::{QKey, Qpn, RKey};
+
+/// Datagram Extended Transport Header (8 bytes): Q_Key, source QP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Deth {
+    /// Queue key authorizing access to the destination QP.
+    pub qkey: QKey,
+    /// Source queue pair number.
+    pub src_qp: Qpn,
+}
+
+/// Serialized DETH size in bytes.
+pub const DETH_LEN: usize = 8;
+
+impl Deth {
+    /// Serialize into an 8-byte array.
+    pub fn to_bytes(&self) -> [u8; DETH_LEN] {
+        let mut b = [0u8; DETH_LEN];
+        b[0..4].copy_from_slice(&self.qkey.0.to_be_bytes());
+        let sqp = self.src_qp.0.to_be_bytes();
+        b[5..8].copy_from_slice(&sqp[1..4]);
+        b
+    }
+
+    /// Parse from the first 8 bytes of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < DETH_LEN {
+            return Err(ParseError::Truncated { needed: DETH_LEN, got: buf.len() });
+        }
+        Ok(Deth {
+            qkey: QKey(u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]])),
+            src_qp: Qpn(u32::from_be_bytes([0, buf[5], buf[6], buf[7]])),
+        })
+    }
+}
+
+/// RDMA Extended Transport Header (16 bytes): virtual address, R_Key,
+/// DMA length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Reth {
+    /// Remote virtual address the RDMA targets.
+    pub virt_addr: u64,
+    /// Remote memory key.
+    pub rkey: RKey,
+    /// DMA length in bytes.
+    pub dma_len: u32,
+}
+
+/// Serialized RETH size in bytes.
+pub const RETH_LEN: usize = 16;
+
+impl Reth {
+    /// Serialize into a 16-byte array.
+    pub fn to_bytes(&self) -> [u8; RETH_LEN] {
+        let mut b = [0u8; RETH_LEN];
+        b[0..8].copy_from_slice(&self.virt_addr.to_be_bytes());
+        b[8..12].copy_from_slice(&self.rkey.0.to_be_bytes());
+        b[12..16].copy_from_slice(&self.dma_len.to_be_bytes());
+        b
+    }
+
+    /// Parse from the first 16 bytes of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < RETH_LEN {
+            return Err(ParseError::Truncated { needed: RETH_LEN, got: buf.len() });
+        }
+        Ok(Reth {
+            virt_addr: u64::from_be_bytes(buf[0..8].try_into().unwrap()),
+            rkey: RKey(u32::from_be_bytes(buf[8..12].try_into().unwrap())),
+            dma_len: u32::from_be_bytes(buf[12..16].try_into().unwrap()),
+        })
+    }
+}
+
+/// ACK Extended Transport Header (4 bytes): syndrome + message sequence
+/// number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Aeth {
+    /// ACK/NAK syndrome.
+    pub syndrome: u8,
+    /// Message sequence number (24 bits).
+    pub msn: u32,
+}
+
+/// Serialized AETH size in bytes.
+pub const AETH_LEN: usize = 4;
+
+impl Aeth {
+    /// Serialize into a 4-byte array.
+    pub fn to_bytes(&self) -> [u8; AETH_LEN] {
+        let msn = self.msn.to_be_bytes();
+        [self.syndrome, msn[1], msn[2], msn[3]]
+    }
+
+    /// Parse from the first 4 bytes of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < AETH_LEN {
+            return Err(ParseError::Truncated { needed: AETH_LEN, got: buf.len() });
+        }
+        Ok(Aeth {
+            syndrome: buf[0],
+            msn: u32::from_be_bytes([0, buf[1], buf[2], buf[3]]),
+        })
+    }
+}
+
+/// Immediate data (4 bytes), delivered to the receive completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ImmDt(pub u32);
+
+/// Serialized immediate-data size in bytes.
+pub const IMMDT_LEN: usize = 4;
+
+impl ImmDt {
+    /// Serialize into a 4-byte array.
+    pub fn to_bytes(&self) -> [u8; IMMDT_LEN] {
+        self.0.to_be_bytes()
+    }
+
+    /// Parse from the first 4 bytes of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < IMMDT_LEN {
+            return Err(ParseError::Truncated { needed: IMMDT_LEN, got: buf.len() });
+        }
+        Ok(ImmDt(u32::from_be_bytes(buf[0..4].try_into().unwrap())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deth_roundtrip() {
+        let deth = Deth { qkey: QKey(0xDEAD_BEEF), src_qp: Qpn(0x00012345) };
+        assert_eq!(Deth::parse(&deth.to_bytes()).unwrap(), deth);
+    }
+
+    #[test]
+    fn deth_reserved_byte_zero() {
+        let deth = Deth { qkey: QKey(1), src_qp: Qpn(2) };
+        assert_eq!(deth.to_bytes()[4], 0);
+    }
+
+    #[test]
+    fn reth_roundtrip() {
+        let reth = Reth {
+            virt_addr: 0x0000_7FFF_DEAD_0000,
+            rkey: RKey(0xCAFE_BABE),
+            dma_len: 4096,
+        };
+        assert_eq!(Reth::parse(&reth.to_bytes()).unwrap(), reth);
+    }
+
+    #[test]
+    fn aeth_roundtrip() {
+        let aeth = Aeth { syndrome: 0x1F, msn: 0x00ABCDEF };
+        assert_eq!(Aeth::parse(&aeth.to_bytes()).unwrap(), aeth);
+    }
+
+    #[test]
+    fn aeth_msn_masked() {
+        let aeth = Aeth { syndrome: 0, msn: 0xFF123456 };
+        let parsed = Aeth::parse(&aeth.to_bytes()).unwrap();
+        assert_eq!(parsed.msn, 0x00123456);
+    }
+
+    #[test]
+    fn immdt_roundtrip() {
+        let imm = ImmDt(0x01020304);
+        assert_eq!(ImmDt::parse(&imm.to_bytes()).unwrap(), imm);
+    }
+
+    #[test]
+    fn truncation_errors() {
+        assert!(Deth::parse(&[0; 7]).is_err());
+        assert!(Reth::parse(&[0; 15]).is_err());
+        assert!(Aeth::parse(&[0; 3]).is_err());
+        assert!(ImmDt::parse(&[0; 3]).is_err());
+    }
+}

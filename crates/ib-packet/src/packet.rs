@@ -1,0 +1,642 @@
+//! Whole-packet composition, serialization, parsing, and CRC handling.
+//!
+//! The central security-relevant artifact is [`Packet::icrc_message`]: the
+//! byte stream the ICRC covers — all *invariant* fields, with the variant
+//! fields (LRH.VL; GRH traffic class, flow label, hop limit; BTH.Resv8a)
+//! masked to ones per IBA spec §7.8.1. Under the paper's scheme this same
+//! stream is what the MAC authenticates, so:
+//!
+//! * switches can still rewrite VL / hop limit without invalidating the tag,
+//! * the BTH.Resv8a selector byte is writable without re-tagging, and
+//! * every key the attacker might have captured (P_Key in BTH, Q_Key in
+//!   DETH, R_Key in RETH) *is* covered, closing the Table 3 forgery paths.
+
+use crate::bth::{Bth, BTH_LEN, BTH_RESV8A_OFFSET};
+use crate::error::ParseError;
+use crate::eth::{Aeth, Deth, Reth, AETH_LEN, DETH_LEN, RETH_LEN};
+use crate::grh::{Grh, GRH_LEN};
+use crate::lrh::{Lnh, Lrh, LRH_LEN};
+use crate::opcode::OpCode;
+use crate::types::{Lid, PKey, Psn, QKey, Qpn, RKey, VirtualLane};
+use ib_crypto::crc::{Crc16, Crc32};
+
+/// ICRC field size on the wire.
+pub const ICRC_LEN: usize = 4;
+/// VCRC field size on the wire.
+pub const VCRC_LEN: usize = 2;
+
+/// A fully-described IBA data packet.
+///
+/// Invariant once [`Packet::seal`] has run: `lrh.pkt_len`, `bth.pad_count`,
+/// `icrc` and `vcrc` are consistent with the contents. The `icrc` field
+/// holds either a real CRC-32 (when `bth.resv8a == 0`) or an authentication
+/// tag (non-zero selector) — the wire layout is identical, which is the
+/// paper's compatibility argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    pub lrh: Lrh,
+    pub grh: Option<Grh>,
+    pub bth: Bth,
+    pub deth: Option<Deth>,
+    pub reth: Option<Reth>,
+    pub aeth: Option<Aeth>,
+    pub payload: Vec<u8>,
+    /// ICRC or authentication tag (see struct docs).
+    pub icrc: u32,
+    /// Link-level variant CRC.
+    pub vcrc: u16,
+}
+
+impl Packet {
+    /// Total on-wire size in bytes (LRH through VCRC).
+    pub fn wire_len(&self) -> usize {
+        self.header_len() + self.padded_payload_len() + ICRC_LEN + VCRC_LEN
+    }
+
+    fn header_len(&self) -> usize {
+        LRH_LEN
+            + self.grh.map_or(0, |_| GRH_LEN)
+            + BTH_LEN
+            + self.deth.map_or(0, |_| DETH_LEN)
+            + self.reth.map_or(0, |_| RETH_LEN)
+            + self.aeth.map_or(0, |_| AETH_LEN)
+    }
+
+    fn padded_payload_len(&self) -> usize {
+        self.payload.len() + self.bth.pad_count as usize
+    }
+
+    /// Recompute the derived fields so the packet is internally consistent:
+    /// pad count, LRH packet length (in 4-byte words, through the ICRC),
+    /// then ICRC (plain CRC-32 mode) and VCRC. Callers installing an
+    /// authentication tag run `seal()` first, then overwrite `icrc` via
+    /// [`Packet::set_auth_tag`] and refresh the VCRC.
+    pub fn seal(&mut self) {
+        self.bth.pad_count = ((4 - (self.payload.len() % 4)) % 4) as u8;
+        let words = (self.header_len() + self.padded_payload_len() + ICRC_LEN) / 4;
+        self.lrh.pkt_len = words as u16;
+        self.icrc = self.compute_icrc();
+        self.vcrc = self.compute_vcrc();
+    }
+
+    /// Serialize to wire bytes. The packet should be sealed (or have had a
+    /// tag installed) first; this function emits fields verbatim.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.lrh.to_bytes());
+        if let Some(grh) = &self.grh {
+            out.extend_from_slice(&grh.to_bytes());
+        }
+        out.extend_from_slice(&self.bth.to_bytes());
+        if let Some(deth) = &self.deth {
+            out.extend_from_slice(&deth.to_bytes());
+        }
+        if let Some(reth) = &self.reth {
+            out.extend_from_slice(&reth.to_bytes());
+        }
+        if let Some(aeth) = &self.aeth {
+            out.extend_from_slice(&aeth.to_bytes());
+        }
+        out.extend_from_slice(&self.payload);
+        out.extend(std::iter::repeat(0u8).take(self.bth.pad_count as usize));
+        out.extend_from_slice(&self.icrc.to_be_bytes());
+        out.extend_from_slice(&self.vcrc.to_be_bytes());
+        out
+    }
+
+    /// The invariant-field byte stream the ICRC (and the MAC replacing it)
+    /// covers: headers with variant fields masked to ones, then payload and
+    /// pad bytes. Allocates; [`Packet::icrc_over_invariant_fields`] streams
+    /// the same bytes through a CRC without allocating.
+    pub fn icrc_message(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.header_len() + self.padded_payload_len());
+        let mut lrh = self.lrh.to_bytes();
+        lrh[0] |= 0xF0; // VL is variant
+        out.extend_from_slice(&lrh);
+        if let Some(grh) = &self.grh {
+            let mut g = grh.to_bytes();
+            // Traffic class + flow label live in the low 28 bits of word 0.
+            g[0] |= 0x0F;
+            g[1] = 0xFF;
+            g[2] = 0xFF;
+            g[3] = 0xFF;
+            g[7] = 0xFF; // hop limit
+            out.extend_from_slice(&g);
+        }
+        let mut bth = self.bth.to_bytes();
+        bth[BTH_RESV8A_OFFSET] = 0xFF; // Resv8a is variant — the selector rides here
+        out.extend_from_slice(&bth);
+        if let Some(deth) = &self.deth {
+            out.extend_from_slice(&deth.to_bytes());
+        }
+        if let Some(reth) = &self.reth {
+            out.extend_from_slice(&reth.to_bytes());
+        }
+        if let Some(aeth) = &self.aeth {
+            out.extend_from_slice(&aeth.to_bytes());
+        }
+        out.extend_from_slice(&self.payload);
+        out.extend(std::iter::repeat(0u8).take(self.bth.pad_count as usize));
+        out
+    }
+
+    /// Compute the CRC-32 ICRC over the invariant fields without
+    /// materializing the masked copy.
+    pub fn compute_icrc(&self) -> u32 {
+        let mut crc = Crc32::new();
+        let mut lrh = self.lrh.to_bytes();
+        lrh[0] |= 0xF0;
+        crc.update(&lrh);
+        if let Some(grh) = &self.grh {
+            let mut g = grh.to_bytes();
+            g[0] |= 0x0F;
+            g[1] = 0xFF;
+            g[2] = 0xFF;
+            g[3] = 0xFF;
+            g[7] = 0xFF;
+            crc.update(&g);
+        }
+        let mut bth = self.bth.to_bytes();
+        bth[BTH_RESV8A_OFFSET] = 0xFF;
+        crc.update(&bth);
+        if let Some(deth) = &self.deth {
+            crc.update(&deth.to_bytes());
+        }
+        if let Some(reth) = &self.reth {
+            crc.update(&reth.to_bytes());
+        }
+        if let Some(aeth) = &self.aeth {
+            crc.update(&aeth.to_bytes());
+        }
+        crc.update(&self.payload);
+        for _ in 0..self.bth.pad_count {
+            crc.update(&[0]);
+        }
+        crc.finalize()
+    }
+
+    /// Alias making the coverage relationship explicit at call sites.
+    #[inline]
+    pub fn icrc_over_invariant_fields(&self) -> u32 {
+        self.compute_icrc()
+    }
+
+    /// Compute the VCRC: CRC-16 over everything from LRH through the ICRC
+    /// field, *unmasked* (the VCRC is recomputed by every switch that
+    /// rewrites a variant field).
+    pub fn compute_vcrc(&self) -> u16 {
+        let mut crc = Crc16::new();
+        crc.update(&self.lrh.to_bytes());
+        if let Some(grh) = &self.grh {
+            crc.update(&grh.to_bytes());
+        }
+        crc.update(&self.bth.to_bytes());
+        if let Some(deth) = &self.deth {
+            crc.update(&deth.to_bytes());
+        }
+        if let Some(reth) = &self.reth {
+            crc.update(&reth.to_bytes());
+        }
+        if let Some(aeth) = &self.aeth {
+            crc.update(&aeth.to_bytes());
+        }
+        crc.update(&self.payload);
+        for _ in 0..self.bth.pad_count {
+            crc.update(&[0]);
+        }
+        crc.update(&self.icrc.to_be_bytes());
+        crc.finalize()
+    }
+
+    /// Install an authentication tag: set the BTH selector, place the tag in
+    /// the ICRC field, and refresh the VCRC (which covers the tag bytes).
+    pub fn set_auth_tag(&mut self, selector: u8, tag: u32) {
+        self.bth.resv8a = selector;
+        self.icrc = tag;
+        self.vcrc = self.compute_vcrc();
+    }
+
+    /// True if the stored ICRC matches the computed CRC-32 (only meaningful
+    /// when `bth.resv8a == 0`).
+    pub fn icrc_ok(&self) -> bool {
+        self.icrc == self.compute_icrc()
+    }
+
+    /// True if the stored VCRC matches.
+    pub fn vcrc_ok(&self) -> bool {
+        self.vcrc == self.compute_vcrc()
+    }
+
+    /// A switch moving this packet to a different VL: rewrite the variant
+    /// field and recompute only the VCRC — the ICRC/tag must survive, which
+    /// [`tests::vl_rewrite_preserves_icrc`] verifies.
+    pub fn rewrite_vl(&mut self, vl: VirtualLane) {
+        self.lrh.vl = vl;
+        self.vcrc = self.compute_vcrc();
+    }
+
+    /// Parse and validate a wire buffer. Checks structural consistency and
+    /// the VCRC; ICRC verification is left to the caller because under the
+    /// authentication scheme the field may hold a MAC tag instead.
+    pub fn parse(buf: &[u8]) -> Result<Packet, ParseError> {
+        let lrh = Lrh::parse(buf)?;
+        let expected_len = lrh.pkt_len as usize * 4 + VCRC_LEN;
+        if buf.len() < expected_len {
+            return Err(ParseError::Truncated { needed: expected_len, got: buf.len() });
+        }
+        if buf.len() != expected_len {
+            return Err(ParseError::LengthMismatch {
+                header_words: lrh.pkt_len,
+                actual_words: buf.len() / 4,
+            });
+        }
+        let mut off = LRH_LEN;
+        let grh = if lrh.lnh == Lnh::IbaGlobal {
+            let g = Grh::parse(&buf[off..])?;
+            off += GRH_LEN;
+            Some(g)
+        } else {
+            None
+        };
+        let bth = Bth::parse(&buf[off..])?;
+        off += BTH_LEN;
+        let deth = if bth.opcode.service.has_deth() {
+            let d = Deth::parse(&buf[off..])?;
+            off += DETH_LEN;
+            Some(d)
+        } else {
+            None
+        };
+        let reth = if bth.opcode.operation.has_reth() {
+            let r = Reth::parse(&buf[off..])?;
+            off += RETH_LEN;
+            Some(r)
+        } else {
+            None
+        };
+        let aeth = if bth.opcode.operation.has_aeth() {
+            let a = Aeth::parse(&buf[off..])?;
+            off += AETH_LEN;
+            Some(a)
+        } else {
+            None
+        };
+        let trailer = ICRC_LEN + VCRC_LEN;
+        if buf.len() < off + trailer {
+            return Err(ParseError::Truncated { needed: off + trailer, got: buf.len() });
+        }
+        let padded_payload_len = buf.len() - off - trailer;
+        if (bth.pad_count as usize) > padded_payload_len {
+            return Err(ParseError::BadPadCount {
+                pad: bth.pad_count,
+                payload_len: padded_payload_len,
+            });
+        }
+        let payload_len = padded_payload_len - bth.pad_count as usize;
+        let payload = buf[off..off + payload_len].to_vec();
+        let icrc_off = off + padded_payload_len;
+        let icrc = u32::from_be_bytes(buf[icrc_off..icrc_off + 4].try_into().unwrap());
+        let vcrc = u16::from_be_bytes(buf[icrc_off + 4..icrc_off + 6].try_into().unwrap());
+        let pkt = Packet { lrh, grh, bth, deth, reth, aeth, payload, icrc, vcrc };
+        let computed_vcrc = pkt.compute_vcrc();
+        if computed_vcrc != vcrc {
+            return Err(ParseError::BadVcrc { expected: computed_vcrc, got: vcrc });
+        }
+        Ok(pkt)
+    }
+}
+
+/// Fluent builder for [`Packet`]. Produces a sealed packet (valid CRCs in
+/// plain-ICRC mode); authentication layers then swap the tag in.
+///
+/// ```
+/// use ib_packet::{PacketBuilder, OpCode, Lid, PKey, Psn, Qpn};
+/// let pkt = PacketBuilder::new(OpCode::RC_SEND_ONLY)
+///     .slid(Lid(1)).dlid(Lid(2))
+///     .pkey(PKey(0x8001))
+///     .dest_qp(Qpn(7)).psn(Psn(0))
+///     .payload(b"hello".to_vec())
+///     .build();
+/// assert!(pkt.icrc_ok() && pkt.vcrc_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    packet: Packet,
+}
+
+impl PacketBuilder {
+    /// Start a packet with the given opcode; extended headers the opcode
+    /// requires are created with default contents.
+    pub fn new(opcode: OpCode) -> Self {
+        let bth = Bth { opcode, ..Bth::default() };
+        let packet = Packet {
+            lrh: Lrh {
+                vl: VirtualLane(0),
+                lver: 0,
+                sl: 0,
+                lnh: Lnh::IbaLocal,
+                dlid: Lid(0),
+                pkt_len: 0,
+                slid: Lid(0),
+            },
+            grh: None,
+            bth,
+            deth: opcode.service.has_deth().then(Deth::default),
+            reth: opcode.operation.has_reth().then(Reth::default),
+            aeth: opcode.operation.has_aeth().then(Aeth::default),
+            payload: Vec::new(),
+            icrc: 0,
+            vcrc: 0,
+        };
+        PacketBuilder { packet }
+    }
+
+    /// Source LID.
+    pub fn slid(mut self, lid: Lid) -> Self {
+        self.packet.lrh.slid = lid;
+        self
+    }
+
+    /// Destination LID.
+    pub fn dlid(mut self, lid: Lid) -> Self {
+        self.packet.lrh.dlid = lid;
+        self
+    }
+
+    /// Service level (QoS class).
+    pub fn sl(mut self, sl: u8) -> Self {
+        self.packet.lrh.sl = sl & 0x0F;
+        self
+    }
+
+    /// Virtual lane.
+    pub fn vl(mut self, vl: VirtualLane) -> Self {
+        self.packet.lrh.vl = vl;
+        self
+    }
+
+    /// Attach a GRH (switches LNH to global).
+    pub fn grh(mut self, grh: Grh) -> Self {
+        self.packet.lrh.lnh = Lnh::IbaGlobal;
+        self.packet.grh = Some(grh);
+        self
+    }
+
+    /// Partition key.
+    pub fn pkey(mut self, pkey: PKey) -> Self {
+        self.packet.bth.pkey = pkey;
+        self
+    }
+
+    /// Destination QP.
+    pub fn dest_qp(mut self, qpn: Qpn) -> Self {
+        self.packet.bth.dest_qp = qpn;
+        self
+    }
+
+    /// Packet sequence number.
+    pub fn psn(mut self, psn: Psn) -> Self {
+        self.packet.bth.psn = psn;
+        self
+    }
+
+    /// Q_Key + source QP (panics if the opcode's service has no DETH —
+    /// that is a programming error, not input-dependent).
+    pub fn qkey(mut self, qkey: QKey, src_qp: Qpn) -> Self {
+        let deth = self
+            .packet
+            .deth
+            .as_mut()
+            .expect("opcode's transport service carries no DETH");
+        deth.qkey = qkey;
+        deth.src_qp = src_qp;
+        self
+    }
+
+    /// RDMA target (panics if the opcode carries no RETH).
+    pub fn rdma(mut self, virt_addr: u64, rkey: RKey, dma_len: u32) -> Self {
+        let reth = self
+            .packet
+            .reth
+            .as_mut()
+            .expect("opcode carries no RETH");
+        reth.virt_addr = virt_addr;
+        reth.rkey = rkey;
+        reth.dma_len = dma_len;
+        self
+    }
+
+    /// ACK syndrome/MSN (panics if the opcode carries no AETH).
+    pub fn ack(mut self, syndrome: u8, msn: u32) -> Self {
+        let aeth = self.packet.aeth.as_mut().expect("opcode carries no AETH");
+        aeth.syndrome = syndrome;
+        aeth.msn = msn & 0x00FF_FFFF;
+        self
+    }
+
+    /// Payload bytes.
+    pub fn payload(mut self, payload: Vec<u8>) -> Self {
+        self.packet.payload = payload;
+        self
+    }
+
+    /// Seal and return the packet.
+    pub fn build(mut self) -> Packet {
+        self.packet.seal();
+        self.packet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rc_packet(payload_len: usize) -> Packet {
+        PacketBuilder::new(OpCode::RC_SEND_ONLY)
+            .slid(Lid(10))
+            .dlid(Lid(20))
+            .pkey(PKey(0x8005))
+            .dest_qp(Qpn(42))
+            .psn(Psn(1000))
+            .payload((0..payload_len).map(|i| i as u8).collect())
+            .build()
+    }
+
+    #[test]
+    fn sealed_packet_has_valid_crcs() {
+        for len in [0usize, 1, 2, 3, 4, 100, 1024] {
+            let pkt = rc_packet(len);
+            assert!(pkt.icrc_ok(), "icrc len {len}");
+            assert!(pkt.vcrc_ok(), "vcrc len {len}");
+            assert_eq!(pkt.wire_len() % 4, 2, "aligned + 2 VCRC bytes, len {len}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_rc() {
+        let pkt = rc_packet(100);
+        let parsed = Packet::parse(&pkt.to_bytes()).unwrap();
+        assert_eq!(parsed, pkt);
+    }
+
+    #[test]
+    fn roundtrip_ud_with_deth() {
+        let pkt = PacketBuilder::new(OpCode::UD_SEND_ONLY)
+            .slid(Lid(1))
+            .dlid(Lid(2))
+            .qkey(QKey(0xDEAD_BEEF), Qpn(77))
+            .payload(vec![9; 33])
+            .build();
+        let parsed = Packet::parse(&pkt.to_bytes()).unwrap();
+        assert_eq!(parsed, pkt);
+        assert_eq!(parsed.deth.unwrap().qkey, QKey(0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn roundtrip_rdma_write_with_reth() {
+        let pkt = PacketBuilder::new(OpCode::RC_RDMA_WRITE_ONLY)
+            .slid(Lid(1))
+            .dlid(Lid(2))
+            .rdma(0x7000_0000_0000, RKey(0xCAFE_F00D), 64)
+            .payload(vec![1; 64])
+            .build();
+        let parsed = Packet::parse(&pkt.to_bytes()).unwrap();
+        assert_eq!(parsed, pkt);
+        assert_eq!(parsed.reth.unwrap().rkey, RKey(0xCAFE_F00D));
+    }
+
+    #[test]
+    fn roundtrip_ack_with_aeth() {
+        let pkt = PacketBuilder::new(OpCode::RC_ACKNOWLEDGE)
+            .slid(Lid(3))
+            .dlid(Lid(4))
+            .ack(0, 55)
+            .build();
+        let parsed = Packet::parse(&pkt.to_bytes()).unwrap();
+        assert_eq!(parsed.aeth.unwrap().msn, 55);
+    }
+
+    #[test]
+    fn roundtrip_with_grh() {
+        let pkt = PacketBuilder::new(OpCode::RC_SEND_ONLY)
+            .slid(Lid(1))
+            .dlid(Lid(2))
+            .grh(Grh::default())
+            .payload(vec![5; 10])
+            .build();
+        let parsed = Packet::parse(&pkt.to_bytes()).unwrap();
+        assert_eq!(parsed, pkt);
+        assert!(parsed.grh.is_some());
+    }
+
+    #[test]
+    fn vl_rewrite_preserves_icrc() {
+        // The heart of the ICRC-as-MAC compatibility claim: a switch moving
+        // the packet to another VL recomputes only the VCRC.
+        let mut pkt = rc_packet(64);
+        let icrc_before = pkt.icrc;
+        pkt.rewrite_vl(VirtualLane(7));
+        assert_eq!(pkt.icrc, icrc_before);
+        assert!(pkt.icrc_ok(), "ICRC still valid after VL rewrite");
+        assert!(pkt.vcrc_ok(), "VCRC refreshed");
+        // And the parsed form agrees.
+        let parsed = Packet::parse(&pkt.to_bytes()).unwrap();
+        assert_eq!(parsed.icrc, icrc_before);
+    }
+
+    #[test]
+    fn resv8a_rewrite_preserves_icrc_but_not_vcrc() {
+        let mut pkt = rc_packet(64);
+        let icrc_before = pkt.compute_icrc();
+        pkt.bth.resv8a = 3;
+        assert_eq!(pkt.compute_icrc(), icrc_before, "Resv8a is masked from ICRC");
+        assert!(!pkt.vcrc_ok(), "VCRC covers the raw bytes, must be refreshed");
+    }
+
+    #[test]
+    fn set_auth_tag_keeps_wire_parseable() {
+        let mut pkt = rc_packet(32);
+        pkt.set_auth_tag(1, 0xA5A5_5A5A);
+        let parsed = Packet::parse(&pkt.to_bytes()).unwrap();
+        assert_eq!(parsed.bth.resv8a, 1);
+        assert_eq!(parsed.icrc, 0xA5A5_5A5A);
+        // A legacy receiver checking it as a CRC would reject it...
+        assert!(!parsed.icrc_ok());
+        // ...but the link layer is perfectly happy.
+        assert!(parsed.vcrc_ok());
+    }
+
+    #[test]
+    fn payload_tamper_breaks_icrc() {
+        let pkt = rc_packet(128);
+        let mut bytes = pkt.to_bytes();
+        // Flip a payload byte and fix up the VCRC so only ICRC catches it.
+        let payload_off = 8 + 12;
+        bytes[payload_off + 5] ^= 0x40;
+        let mut reparsed_fail = Packet::parse(&bytes);
+        // VCRC now fails (it covers everything).
+        assert!(matches!(reparsed_fail, Err(ParseError::BadVcrc { .. })));
+        // Fix the VCRC like an in-path attacker (or switch) would:
+        let n = bytes.len();
+        let mut c = Crc16::new();
+        c.update(&bytes[..n - 2]);
+        let vcrc = c.finalize();
+        bytes[n - 2..].copy_from_slice(&vcrc.to_be_bytes());
+        reparsed_fail = Packet::parse(&bytes);
+        let tampered = reparsed_fail.unwrap();
+        assert!(!tampered.icrc_ok(), "ICRC must catch the payload change");
+    }
+
+    #[test]
+    fn pkey_is_covered_by_icrc() {
+        let mut pkt = rc_packet(16);
+        let before = pkt.compute_icrc();
+        pkt.bth.pkey = PKey(0x8099);
+        assert_ne!(pkt.compute_icrc(), before, "P_Key is invariant ⇒ covered");
+    }
+
+    #[test]
+    fn icrc_message_matches_compute_icrc() {
+        let pkt = PacketBuilder::new(OpCode::UD_SEND_ONLY)
+            .slid(Lid(9))
+            .dlid(Lid(8))
+            .qkey(QKey(77), Qpn(5))
+            .payload(vec![0xEE; 45])
+            .build();
+        assert_eq!(ib_crypto::crc::crc32_ieee(&pkt.icrc_message()), pkt.compute_icrc());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_length() {
+        let pkt = rc_packet(20);
+        let mut bytes = pkt.to_bytes();
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(
+            Packet::parse(&bytes),
+            Err(ParseError::LengthMismatch { .. })
+        ));
+        let bytes = pkt.to_bytes();
+        assert!(matches!(
+            Packet::parse(&bytes[..bytes.len() - 3]),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_vcrc() {
+        let pkt = rc_packet(8);
+        let mut bytes = pkt.to_bytes();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        assert!(matches!(Packet::parse(&bytes), Err(ParseError::BadVcrc { .. })));
+    }
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let pkt = PacketBuilder::new(OpCode::RC_SEND_ONLY).build();
+        assert_eq!(pkt.bth.resv8a, 0, "default is plain-ICRC mode");
+        assert!(pkt.deth.is_none());
+        assert!(pkt.payload.is_empty());
+        assert!(pkt.icrc_ok());
+    }
+}

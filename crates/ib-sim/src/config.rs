@@ -1,0 +1,271 @@
+//! Simulation configuration — Table 1 plus the knobs each experiment
+//! sweeps.
+
+use ib_mgmt::enforcement::EnforcementKind;
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimTime, MS, NS, US};
+
+/// Which P_Keys the attackers stamp on their flood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackKeys {
+    /// Random invalid P_Keys (the §3 attack SIF defeats).
+    RandomInvalid,
+    /// The attacker's own *valid* partition key — §7's residual attack:
+    /// "Dumping traffic only with a valid P_Key. Since this attack uses a
+    /// valid P_Key, any ingress filtering is useless."
+    Valid,
+    /// §7's third residual attack: "DoS attack on the SM by dumping
+    /// management messages and trap messages. Since a management packet
+    /// can reach SM regardless of its partition…" — the flood rides VL15
+    /// straight at the SM node.
+    SmFlood,
+}
+
+/// How trap MADs travel from a detecting port to the Subnet Manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrapTransport {
+    /// Fixed-latency side channel (`trap_latency`), the common simulator
+    /// simplification.
+    OutOfBand,
+    /// Real 256-byte MADs routed through the fabric on VL15 to the SM's
+    /// node — trap delivery then contends with (and can be delayed by)
+    /// data traffic, and the SM can itself be flooded (§7).
+    InBand,
+}
+
+/// How attack activity is scheduled over the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackSchedule {
+    /// Each `attack_epoch`, attackers are active with
+    /// `attack_probability` (memoryless on/off).
+    Probabilistic,
+    /// Exactly one active window of `attack_probability × duration`,
+    /// placed after warmup — every seed sees the same attack duty cycle,
+    /// which is how §6's "probability of DoS attack [set] to 1 %" enters
+    /// the time-averaged delays.
+    DutyCycle,
+}
+
+/// How output-port arbitration weighs the data VLs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArbitrationPolicy {
+    /// Realtime VL always wins (the isolation upper bound).
+    StrictPriority,
+    /// IBA-style weighted tables: up to `high_limit` consecutive
+    /// high-priority grants before a pending low-priority packet is served.
+    Weighted { high_limit: u32 },
+}
+
+/// Which authentication cost model the end nodes run (§6, Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuthMode {
+    /// No authentication ("No Key").
+    None,
+    /// Partition-level key management: secrets pre-distributed by the SM,
+    /// so only the per-message MAC cycles are charged.
+    PartitionLevel,
+    /// QP-level key management: additionally one round-trip key exchange
+    /// the first time a (source, destination) pair communicates.
+    QpLevel,
+}
+
+impl AuthMode {
+    /// Label for result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AuthMode::None => "No Key",
+            AuthMode::PartitionLevel => "With Key (partition)",
+            AuthMode::QpLevel => "With Key (QP)",
+        }
+    }
+}
+
+/// Traffic generation parameters (§3.1 workloads).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Realtime (CBR, higher-priority VL) offered load as a fraction of
+    /// link bandwidth per node.
+    pub realtime_load: f64,
+    /// Best-effort (Poisson) offered load as a fraction of link bandwidth
+    /// per node.
+    pub best_effort_load: f64,
+    /// Realtime back-off threshold: a realtime source skips its slot when
+    /// its HCA send queue is at least this deep ("does not send any packet
+    /// when the current network status cannot support the application's
+    /// bandwidth requirement").
+    pub realtime_backoff_queue: usize,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            realtime_load: 0.20,
+            best_effort_load: 0.20,
+            realtime_backoff_queue: 4,
+        }
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    // ---- Table 1 ----
+    /// Physical link bandwidth in Gb/s.
+    pub link_gbps: f64,
+    /// Ports per switch (4 mesh + 1 host).
+    pub ports_per_switch: usize,
+    /// Virtual lanes per physical link.
+    pub num_vls: usize,
+    /// MTU in bytes for both traffic classes.
+    pub mtu_bytes: usize,
+
+    // ---- fabric ----
+    /// Mesh side length (mesh_dim² switches and nodes; 4 ⇒ the paper's 16).
+    pub mesh_dim: usize,
+    /// Input-buffer capacity per (port, VL), in packets; the credit pool.
+    pub vl_buffer_packets: u32,
+    /// Fixed switch pipeline latency per hop.
+    pub switch_latency: SimTime,
+    /// Wire propagation delay per link.
+    pub propagation_delay: SimTime,
+    /// One table-lookup pipeline cycle (the paper's CACTI-derived cost;
+    /// charged per `lookup_cycles` the enforcer reports).
+    pub cycle_time: SimTime,
+
+    // ---- partitioning / attack ----
+    /// Number of partitions nodes are randomly grouped into (§3.1: four).
+    pub num_partitions: usize,
+    /// Number of attacker nodes (flooding at full speed, random
+    /// destinations).
+    pub num_attackers: usize,
+    /// Which P_Keys the flood carries (invalid vs the §7 valid-key attack).
+    pub attack_keys: AttackKeys,
+    /// Probabilistic epochs or a deterministic duty-cycle window.
+    pub attack_schedule: AttackSchedule,
+    /// Output-port VL arbitration policy.
+    pub arbitration: ArbitrationPolicy,
+    /// Probability that any given attack epoch is active (§6: 1 %).
+    pub attack_probability: f64,
+    /// Length of one attack on/off epoch.
+    pub attack_epoch: SimTime,
+    /// Which switch-side enforcement runs.
+    pub enforcement: EnforcementKind,
+    /// HCA → SM trap delivery latency (MAD through the fabric + SM wakeup)
+    /// when `trap_transport` is out-of-band.
+    pub trap_latency: SimTime,
+    /// Whether traps ride a fixed-latency side channel or real VL15 MADs.
+    pub trap_transport: TrapTransport,
+    /// Which node hosts the Subnet Manager (in-band trap destination).
+    pub sm_node: usize,
+    /// SM → switch filter-programming latency.
+    pub program_latency: SimTime,
+    /// SIF idle timeout before a port disables its own filtering.
+    pub sif_idle_timeout: SimTime,
+
+    // ---- authentication cost model ----
+    /// Authentication mode for Figure 6.
+    pub auth: AuthMode,
+    /// Per-message MAC cycles charged at each end node (§6: one cycle).
+    pub auth_cycles_per_message: u64,
+    /// Round-trip estimate charged for a QP-level key exchange.
+    pub key_exchange_rtt: SimTime,
+
+    // ---- run control ----
+    /// Traffic profile.
+    pub traffic: TrafficConfig,
+    /// Simulated duration.
+    pub duration: SimTime,
+    /// Warm-up prefix excluded from statistics.
+    pub warmup: SimTime,
+    /// RNG seed (simulations are deterministic given a seed).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            link_gbps: 2.5,
+            ports_per_switch: 5,
+            num_vls: 16,
+            mtu_bytes: 1024,
+            mesh_dim: 4,
+            vl_buffer_packets: 4,
+            switch_latency: 100 * NS,
+            propagation_delay: 10 * NS,
+            cycle_time: 5 * NS,
+            num_partitions: 4,
+            num_attackers: 0,
+            attack_keys: AttackKeys::RandomInvalid,
+            attack_schedule: AttackSchedule::Probabilistic,
+            arbitration: ArbitrationPolicy::StrictPriority,
+            attack_probability: 1.0,
+            attack_epoch: 100 * US,
+            enforcement: EnforcementKind::NoFiltering,
+            trap_latency: 5 * US,
+            trap_transport: TrapTransport::OutOfBand,
+            sm_node: 0,
+            program_latency: 5 * US,
+            sif_idle_timeout: 200 * US,
+            auth: AuthMode::None,
+            auth_cycles_per_message: 1,
+            key_exchange_rtt: 40 * US,
+            traffic: TrafficConfig::default(),
+            duration: 10 * MS,
+            warmup: MS,
+            seed: 0x1BAD_5EED,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Number of switches (== number of nodes) in the mesh.
+    pub fn num_nodes(&self) -> usize {
+        self.mesh_dim * self.mesh_dim
+    }
+
+    /// Mean packet inter-generation time for a given offered load fraction,
+    /// in ps (MTU-sized packets).
+    pub fn interarrival_ps(&self, load: f64) -> f64 {
+        let tx = crate::time::tx_time_ps(self.mtu_bytes, self.link_gbps) as f64;
+        tx / load.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = SimConfig::default();
+        assert_eq!(c.link_gbps, 2.5);
+        assert_eq!(c.ports_per_switch, 5);
+        assert_eq!(c.num_vls, 16);
+        assert_eq!(c.mtu_bytes, 1024);
+        assert_eq!(c.num_nodes(), 16);
+        assert_eq!(c.num_partitions, 4);
+    }
+
+    #[test]
+    fn interarrival_scales_inversely_with_load() {
+        let c = SimConfig::default();
+        let at_half = c.interarrival_ps(0.5);
+        let at_full = c.interarrival_ps(1.0);
+        assert!((at_half / at_full - 2.0).abs() < 1e-9);
+        // Full load = back-to-back MTUs.
+        assert!((at_full - 1024.0 * 3200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn auth_labels() {
+        assert_eq!(AuthMode::None.label(), "No Key");
+        assert!(AuthMode::QpLevel.label().contains("QP"));
+    }
+
+    #[test]
+    fn default_seed_is_fixed() {
+        // Reproducibility: two default configs must be identical.
+        assert_eq!(SimConfig::default().seed, SimConfig::default().seed);
+    }
+}

@@ -1,0 +1,165 @@
+//! The discrete-event core: event kinds and a deterministic time-ordered
+//! queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ib_mgmt::trap::Trap;
+use ib_packet::types::PKey;
+
+use crate::time::SimTime;
+use crate::traffic::TrafficClass;
+
+/// A packet moving through the simulation. Header fields mirror the real
+/// wire format (`ib-packet` builds/parses the bytes in the functional
+/// tests); the simulator carries them unserialized for speed.
+#[derive(Debug, Clone)]
+pub struct SimPacket {
+    /// Unique id (monotonic).
+    pub id: u64,
+    /// Source node index.
+    pub src: usize,
+    /// Destination node index.
+    pub dst: usize,
+    /// Traffic class (selects VL and priority).
+    pub class: TrafficClass,
+    /// P_Key carried in the BTH.
+    pub pkey: PKey,
+    /// Virtual lane the packet travels on. Legitimate traffic uses its
+    /// class's VL; attackers spray across data VLs to hit both classes.
+    pub vl: u8,
+    /// Wire size in bytes (headers + payload + CRCs).
+    pub bytes: usize,
+    /// Generation timestamp (enqueue at the source HCA).
+    pub gen_time: SimTime,
+    /// First-byte-on-wire timestamp (set at injection).
+    pub inject_time: SimTime,
+    /// For in-band management packets: the trap notice carried in the MAD.
+    pub trap: Option<Trap>,
+}
+
+/// Events the engine processes.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A traffic source at `node` fires (class decides what happens next).
+    Generate { node: usize, class: TrafficClass },
+    /// The HCA at `node` re-evaluates its injection opportunity.
+    TryInject { node: usize },
+    /// A packet finishes arriving at `switch` input `port`.
+    SwitchArrive { switch: usize, port: usize, packet: SimPacket },
+    /// Output `port` of `switch` re-evaluates its arbitration.
+    TryForward { switch: usize, port: usize },
+    /// A packet finishes arriving at its destination HCA.
+    HcaReceive { node: usize, packet: SimPacket },
+    /// A credit returns to `switch`'s output `port` for `vl`.
+    SwitchCredit { switch: usize, port: usize, vl: u8 },
+    /// A credit returns to the HCA at `node` for `vl`.
+    HcaCredit { node: usize, vl: u8 },
+    /// A trap MAD reaches the SM.
+    TrapDeliver { trap: Trap },
+    /// The SM's filter programming lands on `switch`.
+    FilterProgram { switch: usize, port: usize, pkey: PKey },
+    /// Toggle the attackers between active and idle epochs.
+    AttackEpoch,
+}
+
+/// Deterministic priority queue: ties in time break by insertion sequence,
+/// so runs with the same seed replay identically.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, EventBox)>>,
+    seq: u64,
+}
+
+/// Wrapper giving `Event` the `Ord` the heap needs without imposing a
+/// semantic order on events themselves (sequence number decides).
+#[derive(Debug)]
+struct EventBox(Event);
+
+impl PartialEq for EventBox {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for EventBox {}
+impl PartialOrd for EventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventBox {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse((t, _, b))| (t, b.0))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::AttackEpoch);
+        q.push(10, Event::TryInject { node: 1 });
+        q.push(20, Event::TryInject { node: 2 });
+        let (t1, _) = q.pop().unwrap();
+        let (t2, _) = q.pop().unwrap();
+        let (t3, _) = q.pop().unwrap();
+        assert_eq!((t1, t2, t3), (10, 20, 30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::TryInject { node: 1 });
+        q.push(5, Event::TryInject { node: 2 });
+        q.push(5, Event::TryInject { node: 3 });
+        let order: Vec<usize> = (0..3)
+            .map(|_| match q.pop().unwrap().1 {
+                Event::TryInject { node } => node,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, Event::AttackEpoch);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

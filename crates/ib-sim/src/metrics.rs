@@ -1,0 +1,176 @@
+//! Online statistics for the quantities the paper reports: mean and
+//! standard deviation of queuing time and network latency, per traffic
+//! class (Welford's algorithm, numerically stable, O(1) memory).
+
+use serde::Serialize;
+
+use crate::time::{ps_to_us, SimTime};
+
+/// Streaming mean/variance accumulator.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0 with < 2 samples).
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator (parallel sweeps combine shards).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Queuing-time and network-latency stats for one traffic class, sampled
+/// in µs (the paper's unit).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ClassStats {
+    /// Wait at the source HCA from generation to first byte on the wire.
+    pub queuing: OnlineStats,
+    /// Wire entry to delivery at the destination HCA.
+    pub network: OnlineStats,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped in the fabric (invalid P_Key filtering).
+    pub dropped: u64,
+}
+
+impl ClassStats {
+    /// Record a delivered packet's two delays (given in ps).
+    pub fn record(&mut self, queuing_ps: SimTime, network_ps: SimTime) {
+        self.queuing.push(ps_to_us(queuing_ps));
+        self.network.push(ps_to_us(network_ps));
+        self.delivered += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_no_variance() {
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..33] {
+            a.push(x);
+        }
+        for &x in &data[33..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        let b = OnlineStats::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = OnlineStats::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 1.0);
+    }
+
+    #[test]
+    fn class_stats_record_in_us() {
+        let mut cs = ClassStats::default();
+        cs.record(5_000_000, 20_000_000); // 5 µs queuing, 20 µs network
+        assert_eq!(cs.delivered, 1);
+        assert!((cs.queuing.mean() - 5.0).abs() < 1e-12);
+        assert!((cs.network.mean() - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,56 @@
+//! Simulation time base: unsigned picoseconds.
+//!
+//! Picosecond resolution keeps byte times exact: one byte on a 2.5 Gbps 1x
+//! link takes 8 bits / 2.5 Gb/s = 3.2 ns = 3200 ps, an integer.
+
+/// Simulation timestamp / duration in picoseconds.
+pub type SimTime = u64;
+
+/// One picosecond.
+pub const PS: SimTime = 1;
+/// One nanosecond in ps.
+pub const NS: SimTime = 1_000;
+/// One microsecond in ps.
+pub const US: SimTime = 1_000_000;
+/// One millisecond in ps.
+pub const MS: SimTime = 1_000_000_000;
+
+/// Time to put one byte on a 2.5 Gbps link (Table 1), in ps.
+pub const BYTE_TIME_PS: SimTime = 3_200;
+
+/// Transmission time of `bytes` at `gbps` (supports the ablation sweeps
+/// that vary link speed), in ps.
+pub fn tx_time_ps(bytes: usize, gbps: f64) -> SimTime {
+    ((bytes as f64 * 8.0 / gbps) * 1_000.0).round() as SimTime
+}
+
+/// Convert ps to fractional microseconds (for reporting).
+pub fn ps_to_us(ps: SimTime) -> f64 {
+    ps as f64 / US as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_time_matches_formula() {
+        assert_eq!(tx_time_ps(1, 2.5), BYTE_TIME_PS);
+        // A 1024-byte MTU takes 3.2768 µs on a 1x link.
+        assert_eq!(tx_time_ps(1024, 2.5), 1024 * BYTE_TIME_PS);
+        assert_eq!(ps_to_us(tx_time_ps(1024, 2.5)), 3.2768);
+    }
+
+    #[test]
+    fn faster_links_are_faster() {
+        assert!(tx_time_ps(1024, 10.0) < tx_time_ps(1024, 2.5));
+        assert_eq!(tx_time_ps(1024, 10.0), 1024 * BYTE_TIME_PS / 4);
+    }
+
+    #[test]
+    fn unit_ratios() {
+        assert_eq!(NS, 1_000 * PS);
+        assert_eq!(US, 1_000 * NS);
+        assert_eq!(MS, 1_000 * US);
+    }
+}

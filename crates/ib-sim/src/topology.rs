@@ -1,0 +1,214 @@
+//! The 2-D mesh fabric of §3.1: `dim × dim` switches, each with four mesh
+//! ports and one host port feeding an HCA, with deadlock-free
+//! dimension-order (X-then-Y) routing.
+
+use ib_packet::types::Lid;
+
+/// Port roles on a 5-port switch.
+pub const PORT_EAST: usize = 0;
+pub const PORT_WEST: usize = 1;
+pub const PORT_NORTH: usize = 2;
+pub const PORT_SOUTH: usize = 3;
+/// The host port the local HCA hangs off.
+pub const PORT_HOST: usize = 4;
+
+/// What sits on the far side of a switch port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Peer {
+    /// Another switch's port.
+    Switch { switch: usize, port: usize },
+    /// The locally attached HCA.
+    Hca { node: usize },
+    /// Mesh edge — nothing connected.
+    None,
+}
+
+/// A `dim × dim` mesh. Switch `s` sits at `(x, y) = (s % dim, s / dim)`;
+/// node `i` is attached to switch `i`'s host port, with LID `i + 1`.
+#[derive(Debug, Clone)]
+pub struct MeshTopology {
+    dim: usize,
+}
+
+impl MeshTopology {
+    /// A mesh of `dim × dim` switches (dim ≥ 1).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1);
+        MeshTopology { dim }
+    }
+
+    /// Side length.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of switches (== nodes).
+    pub fn num_switches(&self) -> usize {
+        self.dim * self.dim
+    }
+
+    /// Coordinates of switch `s`.
+    pub fn coords(&self, s: usize) -> (usize, usize) {
+        (s % self.dim, s / self.dim)
+    }
+
+    /// Switch at coordinates.
+    pub fn switch_at(&self, x: usize, y: usize) -> usize {
+        y * self.dim + x
+    }
+
+    /// LID of node `i` (SM assigns 1-based LIDs).
+    pub fn lid_of(&self, node: usize) -> Lid {
+        Lid(node as u16 + 1)
+    }
+
+    /// Node for a LID.
+    pub fn node_of(&self, lid: Lid) -> Option<usize> {
+        (lid.0 as usize)
+            .checked_sub(1)
+            .filter(|n| *n < self.num_switches())
+    }
+
+    /// What's connected to `(switch, port)`.
+    pub fn peer(&self, switch: usize, port: usize) -> Peer {
+        let (x, y) = self.coords(switch);
+        match port {
+            PORT_HOST => Peer::Hca { node: switch },
+            PORT_EAST if x + 1 < self.dim => {
+                Peer::Switch { switch: self.switch_at(x + 1, y), port: PORT_WEST }
+            }
+            PORT_WEST if x > 0 => {
+                Peer::Switch { switch: self.switch_at(x - 1, y), port: PORT_EAST }
+            }
+            PORT_NORTH if y + 1 < self.dim => {
+                Peer::Switch { switch: self.switch_at(x, y + 1), port: PORT_SOUTH }
+            }
+            PORT_SOUTH if y > 0 => {
+                Peer::Switch { switch: self.switch_at(x, y - 1), port: PORT_NORTH }
+            }
+            _ => Peer::None,
+        }
+    }
+
+    /// Dimension-order routing: the output port switch `s` uses toward the
+    /// node attached to `dest_switch`. X is corrected first, then Y; at the
+    /// destination switch the host port is returned.
+    pub fn route(&self, s: usize, dest_switch: usize) -> usize {
+        let (x, y) = self.coords(s);
+        let (dx, dy) = self.coords(dest_switch);
+        if x < dx {
+            PORT_EAST
+        } else if x > dx {
+            PORT_WEST
+        } else if y < dy {
+            PORT_NORTH
+        } else if y > dy {
+            PORT_SOUTH
+        } else {
+            PORT_HOST
+        }
+    }
+
+    /// Hop count (number of switches traversed) from node `a` to node `b`.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = MeshTopology::new(4);
+        for s in 0..16 {
+            let (x, y) = t.coords(s);
+            assert_eq!(t.switch_at(x, y), s);
+        }
+    }
+
+    #[test]
+    fn peers_are_symmetric() {
+        let t = MeshTopology::new(4);
+        for s in 0..16 {
+            for p in 0..4 {
+                if let Peer::Switch { switch, port } = t.peer(s, p) {
+                    assert_eq!(
+                        t.peer(switch, port),
+                        Peer::Switch { switch: s, port: p },
+                        "asymmetric link {s}:{p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edges_have_no_peer() {
+        let t = MeshTopology::new(4);
+        assert_eq!(t.peer(0, PORT_WEST), Peer::None);
+        assert_eq!(t.peer(0, PORT_SOUTH), Peer::None);
+        assert_eq!(t.peer(15, PORT_EAST), Peer::None);
+        assert_eq!(t.peer(15, PORT_NORTH), Peer::None);
+    }
+
+    #[test]
+    fn host_port_reaches_hca() {
+        let t = MeshTopology::new(4);
+        assert_eq!(t.peer(7, PORT_HOST), Peer::Hca { node: 7 });
+    }
+
+    #[test]
+    fn routing_reaches_destination() {
+        let t = MeshTopology::new(4);
+        for src in 0..16 {
+            for dst in 0..16 {
+                let mut s = src;
+                let mut hops = 0;
+                loop {
+                    let port = t.route(s, dst);
+                    if port == PORT_HOST {
+                        break;
+                    }
+                    match t.peer(s, port) {
+                        Peer::Switch { switch, .. } => s = switch,
+                        other => panic!("route fell off the mesh: {other:?}"),
+                    }
+                    hops += 1;
+                    assert!(hops <= 6, "route too long {src}->{dst}");
+                }
+                assert_eq!(s, dst, "route {src}->{dst} ended at {s}");
+                assert_eq!(hops + 1, t.hops(src, dst), "hop count mismatch {src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn x_is_corrected_before_y() {
+        let t = MeshTopology::new(4);
+        // From (0,0) to (3,3): first hop must be EAST.
+        assert_eq!(t.route(0, 15), PORT_EAST);
+        // From (3,0) to (3,3): X equal, go NORTH.
+        assert_eq!(t.route(3, 15), PORT_NORTH);
+    }
+
+    #[test]
+    fn lids_are_one_based() {
+        let t = MeshTopology::new(4);
+        assert_eq!(t.lid_of(0), Lid(1));
+        assert_eq!(t.node_of(Lid(16)), Some(15));
+        assert_eq!(t.node_of(Lid(0)), None);
+        assert_eq!(t.node_of(Lid(17)), None);
+    }
+
+    #[test]
+    fn hops_examples() {
+        let t = MeshTopology::new(4);
+        assert_eq!(t.hops(0, 0), 1, "self traffic still crosses own switch");
+        assert_eq!(t.hops(0, 3), 4);
+        assert_eq!(t.hops(0, 15), 7);
+    }
+}

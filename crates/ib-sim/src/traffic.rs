@@ -1,0 +1,95 @@
+//! Traffic classes and generators (§3.1).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::Serialize;
+
+/// The kinds of traffic in the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum TrafficClass {
+    /// Continuous rate-limited stream on the high-priority VL.
+    Realtime,
+    /// Poisson-injected scientific-style traffic on the low-priority VL.
+    BestEffort,
+    /// DoS flood: full link speed, random destinations, random invalid
+    /// P_Keys.
+    Attack,
+    /// Subnet-management MADs (traps and SM programming) on VL15.
+    Management,
+}
+
+impl TrafficClass {
+    /// Virtual lane this class travels on (realtime gets the
+    /// higher-priority data VL; attack traffic mimics best-effort;
+    /// management rides the dedicated VL15).
+    pub fn vl(self) -> u8 {
+        match self {
+            TrafficClass::Realtime => 1,
+            TrafficClass::BestEffort | TrafficClass::Attack => 0,
+            TrafficClass::Management => 15,
+        }
+    }
+
+    /// Arbitration priority (higher wins).
+    pub fn priority(self) -> u8 {
+        match self {
+            TrafficClass::Management => 2,
+            TrafficClass::Realtime => 1,
+            TrafficClass::BestEffort | TrafficClass::Attack => 0,
+        }
+    }
+
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Realtime => "realtime",
+            TrafficClass::BestEffort => "best-effort",
+            TrafficClass::Attack => "attack",
+            TrafficClass::Management => "management",
+        }
+    }
+}
+
+/// Sample an exponential inter-arrival gap with the given mean (ps), for
+/// Poisson best-effort arrivals. Clamped away from zero so events always
+/// advance time.
+pub fn exp_gap(rng: &mut SmallRng, mean_ps: f64) -> u64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let gap = -mean_ps * u.ln();
+    gap.max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vls_and_priorities() {
+        assert_eq!(TrafficClass::Realtime.vl(), 1);
+        assert_eq!(TrafficClass::BestEffort.vl(), 0);
+        assert_eq!(TrafficClass::Attack.vl(), 0);
+        assert!(TrafficClass::Realtime.priority() > TrafficClass::BestEffort.priority());
+    }
+
+    #[test]
+    fn exp_gap_mean_close() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mean = 10_000.0;
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| exp_gap(&mut rng, mean)).sum();
+        let sample_mean = total as f64 / n as f64;
+        assert!(
+            (sample_mean - mean).abs() / mean < 0.05,
+            "sample mean {sample_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exp_gap_always_positive() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            assert!(exp_gap(&mut rng, 5.0) >= 1);
+        }
+    }
+}

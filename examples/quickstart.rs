@@ -1,0 +1,66 @@
+//! Quickstart: secure a 4-node InfiniBand partition in ~30 lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the happy path of the paper's scheme: the Subnet Manager creates a
+//! partition and distributes a partition secret (encrypted per member, §4.2);
+//! members exchange datagrams whose 32-bit ICRC field carries a UMAC tag
+//! (§5.1); a captured P_Key alone no longer lets an outsider inject.
+
+use ib_crypto::mac::AuthAlgorithm;
+use ib_packet::{PKey, QKey};
+use ib_security::auth::KeyScope;
+use ib_security::fabric::SecureFabric;
+
+fn main() {
+    // A fabric of four nodes, authenticating with UMAC-32 under
+    // partition-level key management.
+    let mut fabric = SecureFabric::new(4, AuthAlgorithm::Umac32, KeyScope::Partition, 7);
+
+    // The administrator creates partition 0x8001 with nodes 0, 1, 2.
+    // Under the hood the SM mints a secret and ships it to each member
+    // under the member's public key.
+    let pkey = PKey(0x8001);
+    fabric.create_partition(pkey, &[0, 1, 2]);
+    println!("partition {pkey} created; node 0 holds {} secret(s)", fabric.key_count(0));
+
+    // On-demand authentication (§5.1): require tags for this partition.
+    fabric.require_auth_for_partition(pkey);
+
+    // Node 0 sends an authenticated datagram to node 1. The wire bytes are
+    // a genuine IBA packet: LRH | BTH | DETH | payload | AT | VCRC.
+    let wire = fabric
+        .send_datagram(0, 1, pkey, QKey(0x11), b"hello, authenticated world")
+        .expect("member with the secret can tag");
+    println!("wire packet: {} bytes", wire.len());
+
+    // Node 1 parses, checks policy, verifies the tag, checks replay.
+    let payload = fabric.deliver(1, &wire).expect("valid tag verifies");
+    println!("node 1 received: {}", String::from_utf8_lossy(&payload));
+
+    // Node 3 is outside the partition. It captured the P_Key off the wire —
+    // in stock IBA that is all an attacker needs. Here it has no secret, so
+    // it cannot produce a verifying tag…
+    let forge = fabric.send_datagram(3, 1, pkey, QKey(0x11), b"forged!");
+    println!("outsider with captured P_Key, trying to tag: {forge:?}");
+    assert!(forge.is_err());
+
+    // …and an unauthenticated packet is refused by the on-demand policy.
+    let plain = fabric
+        .send_unauthenticated(3, 1, pkey, QKey(0x11), b"forged!")
+        .unwrap();
+    let refused = fabric.deliver(1, &plain);
+    println!("outsider sending plain-ICRC packet: {refused:?}");
+    assert!(refused.is_err());
+
+    // Replays of genuine packets are caught by the PSN window (§7).
+    let wire = fabric.send_datagram(0, 1, pkey, QKey(0x11), b"pay me once").unwrap();
+    fabric.deliver(1, &wire).unwrap();
+    let replayed = fabric.deliver(1, &wire);
+    println!("replaying a captured valid packet: {replayed:?}");
+    assert!(replayed.is_err());
+
+    println!("quickstart complete: forgery and replay both defeated.");
+}
