@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate: the workspace must build, test, format and lint with an
+# empty registry (dependency-zero policy — see DESIGN.md "External crates").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== test (offline) =="
+cargo test -q --offline
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI OK"

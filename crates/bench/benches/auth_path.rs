@@ -1,11 +1,14 @@
 //! End-to-end authentication path: build + tag + serialize + parse +
 //! verify a full IBA packet — what a software CA would spend per message
 //! under the ICRC-as-MAC scheme, vs the plain-ICRC baseline.
+//!
+//! Driven by `ib_runtime::bench` (`--quick` for smoke sampling, first
+//! non-flag argument filters benchmark ids).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ib_crypto::mac::AuthAlgorithm;
 use ib_mgmt::keymgmt::SecretKey;
 use ib_packet::{Lid, OpCode, PKey, Packet, PacketBuilder, Psn, QKey, Qpn};
+use ib_runtime::bench::Harness;
 use ib_security::auth::{Authenticator, KeyScope};
 use std::hint::black_box;
 
@@ -20,57 +23,38 @@ fn build_packet(psn: u32, payload_len: usize) -> Packet {
         .build()
 }
 
-fn bench_auth_path(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let secret = SecretKey::from_seed(42);
     for &len in &[64usize, 1024] {
-        let mut group = c.benchmark_group(format!("auth-path/{len}B"));
-        group.throughput(Throughput::Bytes(len as u64));
+        let mut g = h.group(&format!("auth-path/{len}B"));
+        g.throughput_bytes(len as u64);
 
-        group.bench_function(BenchmarkId::new("build+seal(icrc)", len), |b| {
-            let mut psn = 0u32;
-            b.iter(|| {
-                psn += 1;
-                black_box(build_packet(psn, len))
-            })
+        let mut psn = 0u32;
+        g.bench("build+seal(icrc)", || {
+            psn += 1;
+            black_box(build_packet(psn, len))
         });
 
         for alg in [AuthAlgorithm::Umac32, AuthAlgorithm::HmacSha1] {
             let mut auth = Authenticator::new(alg, KeyScope::Partition);
             auth.keys.install_partition_secret(PKey(0x8001), secret);
-            group.bench_function(BenchmarkId::new(format!("tag/{}", alg.name()), len), |b| {
-                let mut psn = 0u32;
-                b.iter(|| {
-                    psn += 1;
-                    let mut pkt = build_packet(psn, len);
-                    auth.tag_packet(&mut pkt).unwrap();
-                    black_box(pkt)
-                })
+            let mut psn = 0u32;
+            g.bench(&format!("tag/{}", alg.name()), || {
+                psn += 1;
+                let mut pkt = build_packet(psn, len);
+                auth.tag_packet(&mut pkt).unwrap();
+                black_box(pkt)
             });
-            group.bench_function(
-                BenchmarkId::new(format!("verify/{}", alg.name()), len),
-                |b| {
-                    let mut pkt = build_packet(1, len);
-                    auth.tag_packet(&mut pkt).unwrap();
-                    let wire = pkt.to_bytes();
-                    b.iter(|| {
-                        let parsed = Packet::parse(black_box(&wire)).unwrap();
-                        auth.verify_packet(&parsed).unwrap();
-                    })
-                },
-            );
+            let mut pkt = build_packet(1, len);
+            auth.tag_packet(&mut pkt).unwrap();
+            let wire = pkt.to_bytes();
+            g.bench(&format!("verify/{}", alg.name()), || {
+                let parsed = Packet::parse(black_box(&wire)).unwrap();
+                auth.verify_packet(&parsed).unwrap();
+            });
         }
-        group.finish();
+        g.finish();
     }
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Modest sampling: these run on small CI boxes; trends matter, not
-    // microsecond-perfect confidence intervals.
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_auth_path,
-}
-criterion_main!(benches);

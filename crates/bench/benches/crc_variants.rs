@@ -1,40 +1,25 @@
 //! Ablation (DESIGN.md #2): bitwise vs byte-table vs slice-by-4 CRC-32 —
 //! the software analogue of the paper's "32-bit multistage technology"
 //! hardware CRC reference.
+//!
+//! Driven by `ib_runtime::bench` (`--quick` for smoke sampling, first
+//! non-flag argument filters benchmark ids).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ib_crypto::crc::{crc16_iba, crc32_bitwise, crc32_ieee, crc32_ieee_slice4};
+use ib_runtime::bench::Harness;
 use std::hint::black_box;
 
-fn bench_crc(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     for &len in &[64usize, 1024, 4096] {
         let msg = vec![0x5Au8; len];
-        let mut group = c.benchmark_group(format!("crc/{len}B"));
-        group.throughput(Throughput::Bytes(len as u64));
-        group.bench_with_input(BenchmarkId::new("crc32-bitwise", len), &msg, |b, m| {
-            b.iter(|| crc32_bitwise(black_box(m)))
-        });
-        group.bench_with_input(BenchmarkId::new("crc32-table", len), &msg, |b, m| {
-            b.iter(|| crc32_ieee(black_box(m)))
-        });
-        group.bench_with_input(BenchmarkId::new("crc32-slice4", len), &msg, |b, m| {
-            b.iter(|| crc32_ieee_slice4(black_box(m)))
-        });
-        group.bench_with_input(BenchmarkId::new("crc16-vcrc", len), &msg, |b, m| {
-            b.iter(|| crc16_iba(black_box(m)))
-        });
-        group.finish();
+        let mut g = h.group(&format!("crc/{len}B"));
+        g.throughput_bytes(len as u64);
+        g.bench("crc32-bitwise", || crc32_bitwise(black_box(&msg)));
+        g.bench("crc32-table", || crc32_ieee(black_box(&msg)));
+        g.bench("crc32-slice4", || crc32_ieee_slice4(black_box(&msg)));
+        g.bench("crc16-vcrc", || crc16_iba(black_box(&msg)));
+        g.finish();
     }
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Modest sampling: these run on small CI boxes; trends matter, not
-    // microsecond-perfect confidence intervals.
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_crc,
-}
-criterion_main!(benches);

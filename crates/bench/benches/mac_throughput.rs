@@ -1,7 +1,9 @@
-//! Criterion benches behind Table 4: throughput of every MAC candidate on
-//! the paper's 188-byte (1500-bit) messages and on full 1024-byte MTUs.
+//! Benches behind Table 4: throughput of every MAC candidate on the
+//! paper's 188-byte (1500-bit) messages and on full 1024-byte MTUs.
+//!
+//! Driven by `ib_runtime::bench` (`--quick` for smoke sampling, first
+//! non-flag argument filters benchmark ids).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ib_crypto::crc::{crc32_ieee, crc32_ieee_slice4};
 use ib_crypto::hmac::Hmac;
 use ib_crypto::md5::Md5;
@@ -9,9 +11,11 @@ use ib_crypto::pmac::Pmac;
 use ib_crypto::sha1::Sha1;
 use ib_crypto::stream_mac::StreamMac;
 use ib_crypto::umac::Umac;
+use ib_runtime::bench::Harness;
 use std::hint::black_box;
 
-fn bench_macs(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let key = [7u8; 16];
     let umac = Umac::new(&key);
     let stream = StreamMac::new(&key);
@@ -19,54 +23,28 @@ fn bench_macs(c: &mut Criterion) {
 
     for &len in &[188usize, 1024] {
         let msg = vec![0xA5u8; len];
-        let mut group = c.benchmark_group(format!("mac/{len}B"));
-        group.throughput(Throughput::Bytes(len as u64));
-
-        group.bench_with_input(BenchmarkId::new("crc32", len), &msg, |b, m| {
-            b.iter(|| crc32_ieee(black_box(m)))
+        let mut g = h.group(&format!("mac/{len}B"));
+        g.throughput_bytes(len as u64);
+        g.bench("crc32", || crc32_ieee(black_box(&msg)));
+        g.bench("crc32-slice4", || crc32_ieee_slice4(black_box(&msg)));
+        let mut nonce = 0u64;
+        g.bench("umac32", || {
+            nonce += 1;
+            umac.tag32(nonce, black_box(&msg))
         });
-        group.bench_with_input(BenchmarkId::new("crc32-slice4", len), &msg, |b, m| {
-            b.iter(|| crc32_ieee_slice4(black_box(m)))
+        g.bench("hmac-md5", || Hmac::<Md5>::tag32(&key, black_box(&msg)));
+        g.bench("hmac-sha1", || Hmac::<Sha1>::tag32(&key, black_box(&msg)));
+        let mut nonce = 0u64;
+        g.bench("stream-mac", || {
+            nonce += 1;
+            stream.tag32(nonce, black_box(&msg))
         });
-        group.bench_with_input(BenchmarkId::new("umac32", len), &msg, |b, m| {
-            let mut nonce = 0u64;
-            b.iter(|| {
-                nonce += 1;
-                umac.tag32(nonce, black_box(m))
-            })
+        let mut nonce = 0u64;
+        g.bench("pmac-aes", || {
+            nonce += 1;
+            pmac.tag32(nonce, black_box(&msg))
         });
-        group.bench_with_input(BenchmarkId::new("hmac-md5", len), &msg, |b, m| {
-            b.iter(|| Hmac::<Md5>::tag32(&key, black_box(m)))
-        });
-        group.bench_with_input(BenchmarkId::new("hmac-sha1", len), &msg, |b, m| {
-            b.iter(|| Hmac::<Sha1>::tag32(&key, black_box(m)))
-        });
-        group.bench_with_input(BenchmarkId::new("stream-mac", len), &msg, |b, m| {
-            let mut nonce = 0u64;
-            b.iter(|| {
-                nonce += 1;
-                stream.tag32(nonce, black_box(m))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("pmac-aes", len), &msg, |b, m| {
-            let mut nonce = 0u64;
-            b.iter(|| {
-                nonce += 1;
-                pmac.tag32(nonce, black_box(m))
-            })
-        });
-        group.finish();
+        g.finish();
     }
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Modest sampling: these run on small CI boxes; trends matter, not
-    // microsecond-perfect confidence intervals.
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_macs,
-}
-criterion_main!(benches);

@@ -1,11 +1,15 @@
 //! Ablation (DESIGN.md / paper §7): PMAC's defining property is that block
 //! contributions commute, so the accumulation parallelizes. This bench
-//! compares sequential PMAC against a crossbeam fan-out over 2/4 lanes on
-//! large messages — the software analogue of the independent hardware MAC
-//! lanes the paper's "faster InfiniBand" discussion wants.
+//! compares sequential PMAC against a scoped-thread fan-out over 2/4 lanes
+//! on large messages — the software analogue of the independent hardware
+//! MAC lanes the paper's "faster InfiniBand" discussion wants.
+//!
+//! Driven by `ib_runtime::bench` (`--quick` for smoke sampling, first
+//! non-flag argument filters benchmark ids).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ib_crypto::pmac::Pmac;
+use ib_runtime::bench::Harness;
+use ib_runtime::par;
 use std::hint::black_box;
 
 /// Parallel PMAC: split the full-block prefix across `lanes` threads, XOR
@@ -17,21 +21,14 @@ fn pmac_parallel_tag(pmac: &Pmac, nonce: u64, message: &[u8], lanes: usize) -> u
         return pmac.tag32(nonce, message);
     }
     let per = nblocks.div_ceil(lanes);
-    let mut partials = vec![[0u8; 16]; lanes];
-    crossbeam::thread::scope(|scope| {
-        for (lane, partial) in partials.iter_mut().enumerate() {
-            let start = lane * per;
-            if start >= nblocks {
-                break;
-            }
-            let end = ((lane + 1) * per).min(nblocks);
-            let blocks = &full[start * 16..end * 16];
-            scope.spawn(move |_| {
-                pmac.accumulate(start as u64, blocks, partial);
-            });
-        }
-    })
-    .unwrap();
+    let active: Vec<usize> = (0..lanes).filter(|lane| lane * per < nblocks).collect();
+    let partials = par::scope_map(active, |lane| {
+        let start = lane * per;
+        let end = ((lane + 1) * per).min(nblocks);
+        let mut partial = [0u8; 16];
+        pmac.accumulate(start as u64, &full[start * 16..end * 16], &mut partial);
+        partial
+    });
     let mut sigma = [0u8; 16];
     for p in &partials {
         for i in 0..16 {
@@ -41,7 +38,8 @@ fn pmac_parallel_tag(pmac: &Pmac, nonce: u64, message: &[u8], lanes: usize) -> u
     pmac.finalize_sigma(sigma, last, nonce)
 }
 
-fn bench_pmac(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let pmac = Pmac::new(b"parallel pmac!!!");
 
     // Correctness first: the parallel path must agree with the sequential.
@@ -56,36 +54,21 @@ fn bench_pmac(c: &mut Criterion) {
 
     for &len in &[4096usize, 65_536] {
         let msg = vec![0x3Cu8; len];
-        let mut group = c.benchmark_group(format!("pmac/{len}B"));
-        group.throughput(Throughput::Bytes(len as u64));
-        group.bench_function(BenchmarkId::new("sequential", len), |b| {
-            let mut nonce = 0u64;
-            b.iter(|| {
-                nonce += 1;
-                pmac.tag32(nonce, black_box(&msg))
-            })
+        let mut g = h.group(&format!("pmac/{len}B"));
+        g.throughput_bytes(len as u64);
+        let mut nonce = 0u64;
+        g.bench("sequential", || {
+            nonce += 1;
+            pmac.tag32(nonce, black_box(&msg))
         });
         for lanes in [2usize, 4] {
-            group.bench_function(BenchmarkId::new(format!("{lanes}-lane"), len), |b| {
-                let mut nonce = 0u64;
-                b.iter(|| {
-                    nonce += 1;
-                    pmac_parallel_tag(&pmac, nonce, black_box(&msg), lanes)
-                })
+            let mut nonce = 0u64;
+            g.bench(&format!("{lanes}-lane"), || {
+                nonce += 1;
+                pmac_parallel_tag(&pmac, nonce, black_box(&msg), lanes)
             });
         }
-        group.finish();
+        g.finish();
     }
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    // Modest sampling: these run on small CI boxes; trends matter, not
-    // microsecond-perfect confidence intervals.
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_pmac,
-}
-criterion_main!(benches);

@@ -1,12 +1,16 @@
 //! Simulator engine throughput: how many simulated packets per wall-second
 //! the discrete-event core sustains, with and without enforcement — keeps
 //! sweep costs predictable and catches engine regressions.
+//!
+//! Driven by `ib_runtime::bench` (`--quick` for smoke sampling, first
+//! non-flag argument filters benchmark ids).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ib_mgmt::enforcement::EnforcementKind;
+use ib_runtime::bench::{BenchConfig, Harness};
 use ib_sim::config::SimConfig;
 use ib_sim::engine::Simulator;
 use ib_sim::time::{MS, US};
+use std::time::Duration;
 
 fn quick_cfg(kind: EnforcementKind, attackers: usize) -> SimConfig {
     SimConfig {
@@ -19,21 +23,22 @@ fn quick_cfg(kind: EnforcementKind, attackers: usize) -> SimConfig {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim-engine/1ms-run");
-    group.sample_size(10);
+fn main() {
+    // Each iteration is a whole 1 ms simulation, so sample sparsely.
+    let mut h = Harness::from_args().with_config(BenchConfig {
+        warmup: Duration::from_millis(200),
+        measurement: Duration::from_secs(2),
+        samples: 10,
+    });
+    let mut g = h.group("sim-engine/1ms-run");
     for (label, kind, attackers) in [
         ("baseline", EnforcementKind::NoFiltering, 0),
         ("attack-nofilter", EnforcementKind::NoFiltering, 4),
         ("attack-dpt", EnforcementKind::Dpt, 4),
         ("attack-sif", EnforcementKind::Sif, 4),
     ] {
-        group.bench_function(BenchmarkId::new(label, 1), |b| {
-            b.iter(|| Simulator::new(quick_cfg(kind, attackers)).run())
-        });
+        g.bench(label, || Simulator::new(quick_cfg(kind, attackers)).run());
     }
-    group.finish();
+    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -9,12 +9,13 @@
 //!    throughput and detection rate vs coverage.
 //! 5. UMAC tag length vs forgery bound (analytic).
 //!
-//! Usage: `ablations [--quick] [--only N]`
+//! Usage: `ablations [--quick] [--only N] [--seed S]`
 
-use bench::{arg_value, measure_throughput, render_table};
+use bench::{arg_value, measure_throughput, render_table, seed_arg};
 use ib_crypto::partial_mac::PartialMac;
 use ib_crypto::umac::Umac;
 use ib_mgmt::enforcement::EnforcementKind;
+use ib_runtime::Seed;
 use ib_security::experiments::{fig5_config, run_seed_averaged};
 use ib_sim::config::{ArbitrationPolicy, AttackKeys, SimConfig, TrafficConfig};
 use ib_sim::time::{MS, US};
@@ -26,12 +27,13 @@ fn quick_adjust(cfg: &mut SimConfig, quick: bool) {
     }
 }
 
-fn ablation_attack_probability(quick: bool, seeds: u64) {
+fn ablation_attack_probability(quick: bool, seeds: u64, seed: Seed) {
     println!("Ablation 1: SIF vs IF across attack probability (load 50%)");
     let mut rows = Vec::new();
     for &prob in &[0.001f64, 0.01, 0.1, 1.0] {
         for kind in [EnforcementKind::If, EnforcementKind::Sif] {
             let mut cfg = fig5_config(0.5, kind);
+            cfg.seed = seed;
             cfg.attack_probability = prob;
             quick_adjust(&mut cfg, quick);
             let p = run_seed_averaged(&cfg, seeds);
@@ -47,7 +49,13 @@ fn ablation_attack_probability(quick: bool, seeds: u64) {
     println!(
         "{}",
         render_table(
-            &["attack prob", "method", "total delay (us)", "lookups/pkt", "leaked to HCAs"],
+            &[
+                "attack prob",
+                "method",
+                "total delay (us)",
+                "lookups/pkt",
+                "leaked to HCAs"
+            ],
             &rows
         )
     );
@@ -57,15 +65,20 @@ fn ablation_attack_probability(quick: bool, seeds: u64) {
     );
 }
 
-fn ablation_valid_pkey(quick: bool, seeds: u64) {
+fn ablation_valid_pkey(quick: bool, seeds: u64, seed: Seed) {
     println!("Ablation 2: the §7 valid-P_Key flood — filtering is blind to it");
     let mut rows = Vec::new();
     for (label, keys, kind) in [
-        ("invalid keys, SIF", AttackKeys::RandomInvalid, EnforcementKind::Sif),
+        (
+            "invalid keys, SIF",
+            AttackKeys::RandomInvalid,
+            EnforcementKind::Sif,
+        ),
         ("valid keys, SIF", AttackKeys::Valid, EnforcementKind::Sif),
         ("valid keys, DPT", AttackKeys::Valid, EnforcementKind::Dpt),
     ] {
         let mut cfg = SimConfig {
+            seed,
             num_attackers: 4,
             attack_probability: 1.0,
             attack_keys: keys,
@@ -90,7 +103,10 @@ fn ablation_valid_pkey(quick: bool, seeds: u64) {
     }
     println!(
         "{}",
-        render_table(&["scenario", "BE queuing (us)", "filter drops", "traps"], &rows)
+        render_table(
+            &["scenario", "BE queuing (us)", "filter drops", "traps"],
+            &rows
+        )
     );
     println!(
         "Reading: with valid keys nothing traps and nothing is dropped — the\n\
@@ -99,15 +115,22 @@ fn ablation_valid_pkey(quick: bool, seeds: u64) {
     );
 }
 
-fn ablation_arbitration(quick: bool, seeds: u64) {
+fn ablation_arbitration(quick: bool, seeds: u64, seed: Seed) {
     println!("Ablation 3: VL arbitration policy under realtime pressure");
     let mut rows = Vec::new();
     for (label, arb) in [
         ("strict priority", ArbitrationPolicy::StrictPriority),
-        ("weighted, limit 4", ArbitrationPolicy::Weighted { high_limit: 4 }),
-        ("weighted, limit 1", ArbitrationPolicy::Weighted { high_limit: 1 }),
+        (
+            "weighted, limit 4",
+            ArbitrationPolicy::Weighted { high_limit: 4 },
+        ),
+        (
+            "weighted, limit 1",
+            ArbitrationPolicy::Weighted { high_limit: 1 },
+        ),
     ] {
         let mut cfg = SimConfig {
+            seed,
             arbitration: arb,
             traffic: TrafficConfig {
                 realtime_load: 0.55,
@@ -130,7 +153,10 @@ fn ablation_arbitration(quick: bool, seeds: u64) {
     }
     println!(
         "{}",
-        render_table(&["policy", "RT queue", "RT net", "BE queue", "BE net"], &rows)
+        render_table(
+            &["policy", "RT queue", "RT net", "BE queue", "BE net"],
+            &rows
+        )
     );
     println!(
         "Reading: weighted tables trade a little realtime latency for\n\
@@ -212,7 +238,12 @@ fn ablation_partial_mac(quick: bool) {
     println!(
         "{}",
         render_table(
-            &["MAC", "tamper detection", "Gb/s (this CPU)", "single-mod forgery prob"],
+            &[
+                "MAC",
+                "tamper detection",
+                "Gb/s (this CPU)",
+                "single-mod forgery prob"
+            ],
             &rows
         )
     );
@@ -229,11 +260,26 @@ fn ablation_partial_mac(quick: bool) {
 fn ablation_tag_length() {
     println!("Ablation 5: UMAC tag length vs forgery bound (analytic)");
     let rows = vec![
-        vec!["32-bit (ICRC slot)".into(), "2^-30".into(), "fits ICRC field unchanged".into()],
-        vec!["64-bit (2 tags)".into(), "2^-60".into(), "would need ICRC+VCRC slots; breaks VCRC".into()],
-        vec!["16-bit (half slot)".into(), "2^-15".into(), "leaves 16 bits of CRC alongside".into()],
+        vec![
+            "32-bit (ICRC slot)".into(),
+            "2^-30".into(),
+            "fits ICRC field unchanged".into(),
+        ],
+        vec![
+            "64-bit (2 tags)".into(),
+            "2^-60".into(),
+            "would need ICRC+VCRC slots; breaks VCRC".into(),
+        ],
+        vec![
+            "16-bit (half slot)".into(),
+            "2^-15".into(),
+            "leaves 16 bits of CRC alongside".into(),
+        ],
     ];
-    println!("{}", render_table(&["tag", "forgery bound", "wire consequence"], &rows));
+    println!(
+        "{}",
+        render_table(&["tag", "forgery bound", "wire consequence"], &rows)
+    );
     println!(
         "Reading: 32 bits is the sweet spot the wire format gives for free —\n\
          the paper's central compatibility argument.\n"
@@ -245,15 +291,17 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let seeds = if quick { 2 } else { 3 };
     let only: Option<u32> = arg_value(&args, "--only").and_then(|v| v.parse().ok());
+    let seed = seed_arg(&args);
 
+    println!("Ablation studies (seed {seed})\n");
     if only.is_none() || only == Some(1) {
-        ablation_attack_probability(quick, seeds);
+        ablation_attack_probability(quick, seeds, seed);
     }
     if only.is_none() || only == Some(2) {
-        ablation_valid_pkey(quick, seeds);
+        ablation_valid_pkey(quick, seeds, seed);
     }
     if only.is_none() || only == Some(3) {
-        ablation_arbitration(quick, seeds);
+        ablation_arbitration(quick, seeds, seed);
     }
     if only.is_none() || only == Some(4) {
         ablation_partial_mac(quick);

@@ -29,8 +29,10 @@ fn main() {
     for &(rt, be) in &[(0.2f64, 0.3f64), (0.25, 0.3), (0.3, 0.3), (0.3, 0.25)] {
         let load = rt + be;
         for &bufs in &[4u32] {
-            let configs: Vec<SimConfig> =
-                [0usize, 1, 4].iter().map(|&a| cfg(rt, be, bufs, a)).collect();
+            let configs: Vec<SimConfig> = [0usize, 1, 4]
+                .iter()
+                .map(|&a| cfg(rt, be, bufs, a))
+                .collect();
             let reports = run_many(configs);
             for (a, r) in [0usize, 1, 4].iter().zip(reports.iter()) {
                 rows.push(vec![

@@ -6,9 +6,9 @@
 //! marginally; best-effort suffers more than realtime (VL priority).
 //! Each point averages several random partition/attacker placements.
 //!
-//! Usage: `fig1 [--quick] [--max-attackers N] [--seeds K]`
+//! Usage: `fig1 [--quick] [--max-attackers N] [--seeds K] [--seed S]`
 
-use bench::{arg_value, render_table};
+use bench::{arg_value, render_table, seed_arg};
 use ib_security::experiments::{fig1_config, run_seed_averaged, Fig1Row, DEFAULT_SEEDS};
 use ib_sim::time::{MS, US};
 
@@ -22,11 +22,13 @@ fn main() {
     // placement dominates the variance of the middle points.
     let seeds: u64 = arg_value(&args, "--seeds")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(if quick { 2 } else { DEFAULT_SEEDS + 4 });
+        .unwrap_or(if quick { 6 } else { DEFAULT_SEEDS + 4 });
+    let seed = seed_arg(&args);
 
     let rows: Vec<Fig1Row> = (0..=max)
         .map(|attackers| {
             let mut cfg = fig1_config(attackers);
+            cfg.seed = seed;
             if quick {
                 cfg.duration = 3 * MS;
                 cfg.warmup = 300 * US;
@@ -42,7 +44,7 @@ fn main() {
         })
         .collect();
 
-    println!("Figure 1(a). Realtime traffic under DoS attack ({seeds} seeds/point)");
+    println!("Figure 1(a). Realtime traffic under DoS attack (seed {seed}, {seeds} seeds/point)");
     let a_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -55,7 +57,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["attackers", "queuing time (us)", "network latency (us)"], &a_rows)
+        render_table(
+            &["attackers", "queuing time (us)", "network latency (us)"],
+            &a_rows
+        )
     );
 
     println!("Figure 1(b). Best-effort traffic under DoS attack");
@@ -71,7 +76,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["attackers", "queuing time (us)", "network latency (us)"], &b_rows)
+        render_table(
+            &["attackers", "queuing time (us)", "network latency (us)"],
+            &b_rows
+        )
     );
 
     // ---- shape assertions (who wins, roughly by what factor) ----

@@ -5,10 +5,13 @@
 //! key exchange costs one RTT per pair, amortized over many messages;
 //! per-message MAC costs one pipeline cycle per end node).
 //!
-//! Usage: `fig6 [--all-modes]` (adds the partition-level ablation row).
+//! Usage: `fig6 [--quick] [--all-modes] [--seeds K] [--seed S]`
+//! (`--all-modes` adds the partition-level ablation row).
 
-use bench::{arg_value, render_table};
-use ib_security::experiments::{fig6_config, run_seed_averaged, Fig6Row, DEFAULT_SEEDS, FIG5_LOADS};
+use bench::{arg_value, render_table, seed_arg};
+use ib_security::experiments::{
+    fig6_config, run_seed_averaged, Fig6Row, DEFAULT_SEEDS, FIG5_LOADS,
+};
 use ib_sim::config::AuthMode;
 use ib_sim::time::{MS, US};
 
@@ -23,11 +26,13 @@ fn main() {
     let seeds: u64 = arg_value(&args, "--seeds")
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 2 } else { DEFAULT_SEEDS });
+    let seed = seed_arg(&args);
 
     let mut rows: Vec<Fig6Row> = Vec::new();
     for &load in &FIG5_LOADS {
         for &mode in modes {
             let mut cfg = fig6_config(load, mode);
+            cfg.seed = seed;
             if quick {
                 cfg.duration = 4 * MS;
                 cfg.warmup = 400 * US;
@@ -43,7 +48,7 @@ fn main() {
         }
     }
 
-    println!("Figure 6. Message authentication overhead with key initialization");
+    println!("Figure 6. Message authentication overhead with key initialization (seed {seed})");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r: &Fig6Row| {
@@ -59,7 +64,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["load", "mode", "queuing (us)", "network (us)", "queuing stddev"],
+            &[
+                "load",
+                "mode",
+                "queuing (us)",
+                "network (us)",
+                "queuing stddev"
+            ],
             &table
         )
     );
@@ -79,9 +90,12 @@ fn main() {
         let overhead = with_total - base_total;
         // Marginal = a few µs absolute at moderate load, or a small
         // relative slice once the fabric is near saturation (where seed
-        // noise and queue amplification dwarf any fixed threshold).
+        // noise and queue amplification dwarf any fixed threshold). Quick
+        // runs amortize the per-pair key-exchange RTT over far fewer
+        // messages, so they get a wider relative band.
+        let rel = if quick { 0.20 } else { 0.12 };
         assert!(
-            overhead < 5.0f64.max(base_total * 0.12),
+            overhead < 5.0f64.max(base_total * rel),
             "overhead at {load} must be marginal, got {overhead:.2} us on base {base_total:.2}"
         );
     }

@@ -41,7 +41,10 @@ fn main() {
         ],
     ];
     println!("Table 1. IBA simulation testbed parameters");
-    println!("{}", render_table(&["parameter", "paper", "this repo"], &rows));
+    println!(
+        "{}",
+        render_table(&["parameter", "paper", "this repo"], &rows)
+    );
 
     assert_eq!(cfg.link_gbps, 2.5);
     assert_eq!(cfg.ports_per_switch, 5);

@@ -56,7 +56,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["partitions/node", "method", "mem/switch", "mem total", "lookups/pkt"],
+            &[
+                "partitions/node",
+                "method",
+                "mem/switch",
+                "mem total",
+                "lookups/pkt"
+            ],
             &rows
         )
     );
@@ -97,7 +103,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["method", "lookup cycles", "packets", "cycles/pkt"], &sim_rows)
+        render_table(
+            &["method", "lookup cycles", "packets", "cycles/pkt"],
+            &sim_rows
+        )
     );
     assert!(
         per_packet[0] > per_packet[1],

@@ -8,9 +8,9 @@
 use bench::render_table;
 use ib_crypto::mac::AuthAlgorithm;
 use ib_mgmt::keys::VULNERABILITIES;
+use ib_packet::{PKey, QKey};
 use ib_security::auth::KeyScope;
 use ib_security::fabric::{FabricError, SecureFabric};
-use ib_packet::{PKey, QKey};
 
 fn main() {
     println!("Table 3. IBA Key vulnerability");
@@ -36,7 +36,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["key", "impact if exposed", "also requires", "closed by MAC"], &rows)
+        render_table(
+            &["key", "impact if exposed", "also requires", "closed by MAC"],
+            &rows
+        )
     );
 
     // ---- live demonstration of the P_Key row ----
@@ -53,7 +56,9 @@ fn main() {
         .send_unauthenticated(2, 1, p1, QKey(1), b"stolen-P_Key injection")
         .unwrap();
     match fabric.deliver(1, &forged) {
-        Ok(_) => println!("stock IBA: forged packet with captured P_Key ACCEPTED (the vulnerability)"),
+        Ok(_) => {
+            println!("stock IBA: forged packet with captured P_Key ACCEPTED (the vulnerability)")
+        }
         Err(e) => println!("stock IBA: delivery refused ({e:?})"),
     }
 
@@ -67,7 +72,9 @@ fn main() {
     println!("with ICRC-as-MAC enabled: same forgery rejected ({verdict:?})");
 
     // And a member with the secret still communicates.
-    let legit = fabric.send_datagram(0, 1, p1, QKey(1), b"legit traffic").unwrap();
+    let legit = fabric
+        .send_datagram(0, 1, p1, QKey(1), b"legit traffic")
+        .unwrap();
     assert!(fabric.deliver(1, &legit).is_ok());
     println!("member with the partition secret still delivers: OK");
     println!();

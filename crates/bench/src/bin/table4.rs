@@ -52,7 +52,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["Algorithm", "Cycles/byte", "Gbits/sec", "Forgery Prob."], &rows)
+        render_table(
+            &["Algorithm", "Cycles/byte", "Gbits/sec", "Forgery Prob."],
+            &rows
+        )
     );
 
     // ---- measured rows ----
@@ -131,15 +134,24 @@ fn main() {
             if alg.forgery_log2() == 0 {
                 "1".to_string()
             } else {
-                format!("~2^{} ({:.1e} attempts)", alg.forgery_log2(),
-                    expected_forgery_attempts(alg.forgery_log2()))
+                format!(
+                    "~2^{} ({:.1e} attempts)",
+                    alg.forgery_log2(),
+                    expected_forgery_attempts(alg.forgery_log2())
+                )
             },
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["Algorithm", "Cycles/byte", "Gb/s (this CPU)", "Gb/s @350MHz", "Forgery Prob."],
+            &[
+                "Algorithm",
+                "Cycles/byte",
+                "Gb/s (this CPU)",
+                "Gb/s @350MHz",
+                "Forgery Prob."
+            ],
             &mrows
         )
     );

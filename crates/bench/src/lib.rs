@@ -1,6 +1,7 @@
-//! Shared helpers for the experiment binaries: throughput measurement and
-//! plain-text table rendering.
+//! Shared helpers for the experiment binaries: throughput measurement,
+//! plain-text table rendering, and seed plumbing.
 
+use ib_runtime::Seed;
 use std::time::Instant;
 
 /// Measure the steady-state throughput of `f` over `message_len`-byte
@@ -87,6 +88,25 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// Parse a `--seed <u64>` argument (decimal or `0x`-prefixed hex). Falls
+/// back to the workspace's fixed default seed, so every experiment binary
+/// is reproducible with no arguments and re-runnable from the seed it
+/// prints in its header.
+pub fn seed_arg(args: &[String]) -> Seed {
+    match arg_value(args, "--seed") {
+        Some(v) => {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                v.parse().ok()
+            };
+            Seed(parsed.unwrap_or_else(|| panic!("--seed {v:?} is not a u64")))
+        }
+        None => ib_sim::config::SimConfig::default().seed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +134,20 @@ mod tests {
         assert_eq!(arg_value(&args, "--load"), Some("0.5".into()));
         assert_eq!(arg_value(&args, "--quick"), None);
         assert_eq!(arg_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn seed_arg_parses_dec_hex_and_defaults() {
+        let to_args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(seed_arg(&to_args(&["prog", "--seed", "42"])), Seed(42));
+        assert_eq!(
+            seed_arg(&to_args(&["prog", "--seed", "0xBEEF"])),
+            Seed(0xBEEF)
+        );
+        assert_eq!(
+            seed_arg(&to_args(&["prog"])),
+            ib_sim::config::SimConfig::default().seed
+        );
     }
 
     #[test]

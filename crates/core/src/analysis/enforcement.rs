@@ -12,10 +12,9 @@
 //! | lookups/packet | f(n·p) | f(p) | Pr(n)·f(min(Avg, p)) |
 
 use ib_mgmt::enforcement::EnforcementKind;
-use serde::Serialize;
 
 /// Model inputs.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct EnforcementModel {
     /// n — number of end nodes.
     pub nodes: usize,
@@ -30,7 +29,7 @@ pub struct EnforcementModel {
 }
 
 /// One evaluated Table 2 column.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadRow {
     pub kind: EnforcementKind,
     /// Table entries held by one switch.
@@ -56,7 +55,8 @@ impl EnforcementModel {
     }
 
     fn min_avg_p(&self) -> f64 {
-        self.avg_invalid_entries.min(self.partitions_per_node as f64)
+        self.avg_invalid_entries
+            .min(self.partitions_per_node as f64)
     }
 
     /// Memory (table entries) in one switch.
@@ -100,15 +100,19 @@ impl EnforcementModel {
     /// Evaluate the whole Table 2 with the paper's f ≡ 1-cycle lookup (so
     /// "lookups per packet" counts table probes).
     pub fn table2(&self) -> Vec<OverheadRow> {
-        [EnforcementKind::Dpt, EnforcementKind::If, EnforcementKind::Sif]
-            .into_iter()
-            .map(|kind| OverheadRow {
-                kind,
-                memory_per_switch: self.memory_per_switch(kind),
-                memory_total: self.memory_total(kind),
-                lookups_per_packet: self.lookups_per_packet(kind, |i| if i > 0.0 { 1.0 } else { 0.0 }),
-            })
-            .collect()
+        [
+            EnforcementKind::Dpt,
+            EnforcementKind::If,
+            EnforcementKind::Sif,
+        ]
+        .into_iter()
+        .map(|kind| OverheadRow {
+            kind,
+            memory_per_switch: self.memory_per_switch(kind),
+            memory_total: self.memory_total(kind),
+            lookups_per_packet: self.lookups_per_packet(kind, |i| if i > 0.0 { 1.0 } else { 0.0 }),
+        })
+        .collect()
     }
 }
 
@@ -167,7 +171,7 @@ mod tests {
     fn min_clamps_avg_to_p() {
         let mut m = model();
         m.avg_invalid_entries = 100.0; // attacker sprayed many keys
-        // min(Avg, p) = p = 4 ⇒ SIF never worse than IF per lookup table.
+                                       // min(Avg, p) = p = 4 ⇒ SIF never worse than IF per lookup table.
         let sif_mem = m.memory_per_switch(EnforcementKind::Sif);
         assert!((sif_mem - (4.0 + 0.01 * 4.0)).abs() < 1e-12);
     }

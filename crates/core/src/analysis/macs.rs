@@ -7,7 +7,6 @@
 //! `table4` bench, so paper and reproduction rows are directly comparable.
 
 use ib_crypto::mac::AuthAlgorithm;
-use serde::Serialize;
 
 /// The paper's normalization clock for Table 4.
 pub const TABLE4_CLOCK_MHZ: f64 = 350.0;
@@ -28,7 +27,7 @@ pub fn cycles_per_byte_from_throughput(bytes_per_sec: f64, clock_hz: f64) -> f64
 }
 
 /// One Table 4 row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Row {
     /// Algorithm name as the paper prints it.
     pub algorithm: &'static str,

@@ -81,7 +81,11 @@ impl Authenticator {
             algorithm.is_authenticating(),
             "selector 0 (plain ICRC) is the absence of authentication"
         );
-        Authenticator { keys: NodeKeyTable::new(), algorithm, scope }
+        Authenticator {
+            keys: NodeKeyTable::new(),
+            algorithm,
+            scope,
+        }
     }
 
     /// The configured algorithm.
@@ -103,9 +107,10 @@ impl Authenticator {
     /// derived purely from packet fields, so sender and receiver agree.
     pub fn secret_for(&self, packet: &Packet) -> Result<SecretKey, AuthError> {
         match self.scope {
-            KeyScope::Partition => {
-                self.keys.partition_secret(packet.bth.pkey).ok_or(AuthError::NoKey)
-            }
+            KeyScope::Partition => self
+                .keys
+                .partition_secret(packet.bth.pkey)
+                .ok_or(AuthError::NoKey),
             KeyScope::QpLevel => {
                 if let Some(deth) = &packet.deth {
                     self.keys
@@ -149,7 +154,11 @@ impl Authenticator {
         let algorithm =
             AuthAlgorithm::from_selector(selector).ok_or(AuthError::UnknownSelector(selector))?;
         if algorithm == AuthAlgorithm::Icrc {
-            return if packet.icrc_ok() { Ok(()) } else { Err(AuthError::BadIcrc) };
+            return if packet.icrc_ok() {
+                Ok(())
+            } else {
+                Err(AuthError::BadIcrc)
+            };
         }
         let secret = self.secret_for(packet)?;
         let mac = AnyMac::new(algorithm, &secret.0);
@@ -274,7 +283,10 @@ mod tests {
         let (_, receiver, pkey, _) = partition_pair();
         let mut pkt = ud_packet(pkey, QKey(7), Qpn(3), 5, b"x");
         pkt.set_auth_tag(0x77, 0);
-        assert_eq!(receiver.verify_packet(&pkt), Err(AuthError::UnknownSelector(0x77)));
+        assert_eq!(
+            receiver.verify_packet(&pkt),
+            Err(AuthError::UnknownSelector(0x77))
+        );
     }
 
     #[test]
@@ -337,7 +349,9 @@ mod tests {
             receiver.keys.install_partition_secret(pkey, secret);
             let mut pkt = ud_packet(pkey, QKey(1), Qpn(1), 77, b"alg sweep");
             sender.tag_packet(&mut pkt).unwrap();
-            receiver.verify_packet(&pkt).unwrap_or_else(|e| panic!("{alg:?}: {e}"));
+            receiver
+                .verify_packet(&pkt)
+                .unwrap_or_else(|e| panic!("{alg:?}: {e}"));
         }
     }
 

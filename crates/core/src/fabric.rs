@@ -101,7 +101,12 @@ impl SecureFabric {
                 }
             })
             .collect();
-        SecureFabric { sm, nodes, algorithm, scope }
+        SecureFabric {
+            sm,
+            nodes,
+            algorithm,
+            scope,
+        }
     }
 
     /// Number of nodes.
@@ -149,8 +154,9 @@ impl SecureFabric {
         let requester_qp = self.nodes[requester].dg_qp;
         let requester_pub = self.nodes[requester].public;
         let responder_qp = self.nodes[responder].dg_qp;
-        let (qkey, secret, envelope) =
-            self.nodes[responder].qp_mgr.issue_qkey(responder_qp, &requester_pub);
+        let (qkey, secret, envelope) = self.nodes[responder]
+            .qp_mgr
+            .issue_qkey(responder_qp, &requester_pub);
         self.nodes[responder]
             .auth
             .keys
@@ -265,7 +271,10 @@ impl SecureFabric {
                 packet.lrh.slid,
                 packet.deth.as_ref().map_or(Qpn(0), |d| d.src_qp),
             );
-            let window = node.replay.entry(flow).or_insert_with(|| ReplayWindow::new(64));
+            let window = node
+                .replay
+                .entry(flow)
+                .or_insert_with(|| ReplayWindow::new(64));
             if !window.accept_psn(packet.bth.psn.0) {
                 return Err(FabricError::Replay);
             }
@@ -302,7 +311,9 @@ mod tests {
     #[test]
     fn partition_members_communicate() {
         let mut f = fabric();
-        let wire = f.send_datagram(0, 1, P1, QKey(1), b"hello from node 0").unwrap();
+        let wire = f
+            .send_datagram(0, 1, P1, QKey(1), b"hello from node 0")
+            .unwrap();
         let payload = f.deliver(1, &wire).unwrap();
         assert_eq!(payload, b"hello from node 0");
     }
@@ -326,7 +337,9 @@ mod tests {
         );
         // ...and an unauthenticated packet bounces off on-demand policy.
         f.require_auth_for_partition(P1);
-        let wire = f.send_unauthenticated(3, 1, P1, QKey(1), b"forged").unwrap();
+        let wire = f
+            .send_unauthenticated(3, 1, P1, QKey(1), b"forged")
+            .unwrap();
         assert_eq!(f.deliver(1, &wire), Err(FabricError::PolicyViolation));
     }
 
@@ -334,7 +347,10 @@ mod tests {
     fn policy_toggles_at_runtime() {
         let mut f = fabric();
         let wire = f.send_unauthenticated(0, 1, P1, QKey(1), b"plain").unwrap();
-        assert!(f.deliver(1, &wire).is_ok(), "no policy: legacy packets fine");
+        assert!(
+            f.deliver(1, &wire).is_ok(),
+            "no policy: legacy packets fine"
+        );
         f.require_auth_for_partition(P1);
         let wire = f.send_unauthenticated(0, 1, P1, QKey(1), b"plain").unwrap();
         assert_eq!(f.deliver(1, &wire), Err(FabricError::PolicyViolation));
@@ -346,7 +362,9 @@ mod tests {
     #[test]
     fn bitflip_on_the_wire_detected() {
         let mut f = fabric();
-        let mut wire = f.send_datagram(0, 1, P1, QKey(1), b"integrity matters").unwrap();
+        let mut wire = f
+            .send_datagram(0, 1, P1, QKey(1), b"integrity matters")
+            .unwrap();
         // Flip a payload bit and repair the VCRC like an in-path attacker.
         let payload_off = 8 + 12 + 8; // LRH + BTH + DETH
         wire[payload_off] ^= 0x01;
@@ -355,7 +373,10 @@ mod tests {
         c.update(&wire[..n - 2]);
         let v = c.finalize();
         wire[n - 2..].copy_from_slice(&v.to_be_bytes());
-        assert_eq!(f.deliver(1, &wire), Err(FabricError::Auth(AuthError::BadTag)));
+        assert_eq!(
+            f.deliver(1, &wire),
+            Err(FabricError::Auth(AuthError::BadTag))
+        );
     }
 
     #[test]
@@ -381,7 +402,9 @@ mod tests {
         let mut f = SecureFabric::new(3, AuthAlgorithm::Umac32, KeyScope::QpLevel, 99);
         f.create_partition(P1, &[0, 1, 2]);
         let qkey = f.request_qkey(0, 1);
-        let wire = f.send_datagram(0, 1, P1, qkey, b"qp-scoped payload").unwrap();
+        let wire = f
+            .send_datagram(0, 1, P1, qkey, b"qp-scoped payload")
+            .unwrap();
         assert_eq!(f.deliver(1, &wire).unwrap(), b"qp-scoped payload");
         // Node 2 shares the partition but not the QP secret: the packet is
         // not forgeable by it (NoKey on send) — the paper's argument that
@@ -403,7 +426,11 @@ mod tests {
 
     #[test]
     fn algorithms_other_than_umac_work_end_to_end() {
-        for alg in [AuthAlgorithm::HmacMd5, AuthAlgorithm::HmacSha1, AuthAlgorithm::Pmac] {
+        for alg in [
+            AuthAlgorithm::HmacMd5,
+            AuthAlgorithm::HmacSha1,
+            AuthAlgorithm::Pmac,
+        ] {
             let mut f = SecureFabric::new(2, alg, KeyScope::Partition, 123);
             f.create_partition(P1, &[0, 1]);
             let wire = f.send_datagram(0, 1, P1, QKey(5), b"alg matrix").unwrap();

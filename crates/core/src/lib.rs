@@ -30,7 +30,7 @@
 //!   and Table 4 (MAC time & forgery complexity).
 //! * [`experiments`] — configured parameter sweeps that regenerate
 //!   Figures 1, 5 and 6 on the [`ib_sim`] testbed, parallelized across
-//!   configurations with crossbeam scoped threads.
+//!   configurations with `ib_runtime::par` scoped threads.
 
 pub mod analysis;
 pub mod auth;

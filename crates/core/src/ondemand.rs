@@ -103,9 +103,15 @@ mod tests {
     fn partition_enrollment() {
         let mut policy = OnDemandPolicy::allow_all();
         policy.require_partition(PKey(0x8001));
-        assert!(!policy.admits(&packet(PKey(0x8001), Qpn(1), 0)), "needs a tag");
+        assert!(
+            !policy.admits(&packet(PKey(0x8001), Qpn(1), 0)),
+            "needs a tag"
+        );
         assert!(policy.admits(&packet(PKey(0x8001), Qpn(1), 1)), "tagged ok");
-        assert!(policy.admits(&packet(PKey(0x8002), Qpn(1), 0)), "other partition free");
+        assert!(
+            policy.admits(&packet(PKey(0x8002), Qpn(1), 0)),
+            "other partition free"
+        );
     }
 
     #[test]

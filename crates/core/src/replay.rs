@@ -31,7 +31,12 @@ const PSN_MOD: u64 = 1 << 24;
 impl ReplayWindow {
     /// A window accepting up to `window` (≤ 64) out-of-order sequences.
     pub fn new(window: u32) -> Self {
-        ReplayWindow { top: None, bitmap: 0, window: window.clamp(1, 64), rejected: 0 }
+        ReplayWindow {
+            top: None,
+            bitmap: 0,
+            window: window.clamp(1, 64),
+            rejected: 0,
+        }
     }
 
     /// Offer an unwrapped sequence number. Returns true if fresh (and

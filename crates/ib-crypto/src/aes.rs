@@ -158,7 +158,12 @@ impl Aes128 {
 
     fn mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
+            let col = [
+                state[c * 4],
+                state[c * 4 + 1],
+                state[c * 4 + 2],
+                state[c * 4 + 3],
+            ];
             state[c * 4] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
             state[c * 4 + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
             state[c * 4 + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
@@ -168,7 +173,12 @@ impl Aes128 {
 
     fn inv_mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
+            let col = [
+                state[c * 4],
+                state[c * 4 + 1],
+                state[c * 4 + 2],
+                state[c * 4 + 3],
+            ];
             state[c * 4] =
                 gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
             state[c * 4 + 1] =
@@ -283,7 +293,8 @@ mod tests {
 
     #[test]
     fn inverse_steps_invert_forward_steps() {
-        let mut block: [u8; 16] = *b"\x00\x11\x22\x33\x44\x55\x66\x77\x88\x99\xaa\xbb\xcc\xdd\xee\xff";
+        let mut block: [u8; 16] =
+            *b"\x00\x11\x22\x33\x44\x55\x66\x77\x88\x99\xaa\xbb\xcc\xdd\xee\xff";
         let orig = block;
         Aes128::shift_rows(&mut block);
         Aes128::inv_shift_rows(&mut block);
@@ -302,7 +313,9 @@ mod tests {
         for seed in 0..32u8 {
             let mut block = [0u8; 16];
             for (i, b) in block.iter_mut().enumerate() {
-                *b = seed.wrapping_mul(17).wrapping_add((i as u8).wrapping_mul(31));
+                *b = seed
+                    .wrapping_mul(17)
+                    .wrapping_add((i as u8).wrapping_mul(31));
             }
             let orig = block;
             aes.encrypt_block(&mut block);

@@ -284,7 +284,9 @@ mod tests {
     fn crc32_incremental_equals_oneshot() {
         let data: Vec<u8> = (0..1024u32).map(|i| (i * 7 + 3) as u8).collect();
         let mut c = Crc32::new();
-        c.update(&data[..100]).update(&data[100..517]).update(&data[517..]);
+        c.update(&data[..100])
+            .update(&data[100..517])
+            .update(&data[517..]);
         assert_eq!(c.finalize(), crc32_ieee(&data));
     }
 
@@ -292,7 +294,9 @@ mod tests {
     fn crc16_incremental_equals_oneshot() {
         let data: Vec<u8> = (0..777u32).map(|i| (i * 31 + 1) as u8).collect();
         let mut c = Crc16::new();
-        c.update(&data[..3]).update(&data[3..700]).update(&data[700..]);
+        c.update(&data[..3])
+            .update(&data[3..700])
+            .update(&data[700..]);
         assert_eq!(c.finalize(), crc16_iba(&data));
     }
 

@@ -137,6 +137,10 @@ pub trait Mac {
 
 /// A keyed MAC of any registered algorithm — the concrete object a key
 /// table stores per partition / per QP.
+// Umac's ~1 KiB of cached NH key material stays inline on purpose: key
+// tables hold few entries and the per-packet tag path avoids a pointer
+// chase.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub enum AnyMac {
     /// CRC-32 "MAC": ignores key and nonce (compatibility mode; forgeable).

@@ -72,12 +72,12 @@ impl PartialMac {
             block[8..].copy_from_slice(&(group as u64).to_be_bytes());
             self.sampler.encrypt_block(&mut block);
             decisions.copy_from_slice(&block);
-            for j in 0..16 {
+            for (j, &decision) in decisions.iter().enumerate() {
                 let k = group * 16 + j;
                 if k >= nblocks {
                     break;
                 }
-                let covered = self.coverage_u8 == 0 || decisions[j] < self.coverage_u8;
+                let covered = self.coverage_u8 == 0 || decision < self.coverage_u8;
                 if covered {
                     let start = k * 64;
                     let end = (start + 64).min(message.len());
@@ -127,7 +127,10 @@ mod tests {
         for i in 0..msg.len() {
             let mut tampered = msg.clone();
             tampered[i] ^= 1;
-            assert!(!m.verify(7, &tampered, tag), "byte {i} missed at full coverage");
+            assert!(
+                !m.verify(7, &tampered, tag),
+                "byte {i} missed at full coverage"
+            );
         }
     }
 

@@ -227,7 +227,11 @@ mod tests {
         let data: Vec<u8> = (0..1000u32).map(|i| (i * 7) as u8).collect();
         let reference = p.tag32(3, &data);
         for chunks in [1usize, 2, 3, 4, 7, 16, 100] {
-            assert_eq!(p.tag32_chunked(3, &data, chunks), reference, "{chunks} chunks");
+            assert_eq!(
+                p.tag32_chunked(3, &data, chunks),
+                reference,
+                "{chunks} chunks"
+            );
         }
     }
 

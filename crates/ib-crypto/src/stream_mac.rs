@@ -84,7 +84,12 @@ impl StreamMac {
 
     /// Begin a new message.
     pub fn start(&self) -> StreamMacState {
-        StreamMacState { acc: 0, len: 0, partial: [0; 4], partial_len: 0 }
+        StreamMacState {
+            acc: 0,
+            len: 0,
+            partial: [0; 4],
+            partial_len: 0,
+        }
     }
 
     /// Absorb bytes as they stream past.

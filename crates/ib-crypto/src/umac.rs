@@ -85,7 +85,12 @@ impl Umac {
             *k = u64::from_le_bytes(l3_bytes[i * 8..i * 8 + 8].try_into().unwrap()) % P36;
         }
 
-        Umac { aes, nh_key, poly_key, l3_key }
+        Umac {
+            aes,
+            nh_key,
+            poly_key,
+            l3_key,
+        }
     }
 
     /// NH hash of one chunk (`chunk.len() <= NH_CHUNK_BYTES`).
@@ -180,14 +185,12 @@ impl Umac {
 }
 
 fn kdf(aes: &Aes128, marker: u8, out: &mut [u8]) {
-    let mut counter = 0u64;
-    for chunk in out.chunks_mut(16) {
+    for (counter, chunk) in out.chunks_mut(16).enumerate() {
         let mut block = [0u8; 16];
         block[0] = marker;
-        block[8..16].copy_from_slice(&counter.to_be_bytes());
+        block[8..16].copy_from_slice(&(counter as u64).to_be_bytes());
         aes.encrypt_block(&mut block);
         chunk.copy_from_slice(&block[..chunk.len()]);
-        counter += 1;
     }
 }
 
@@ -282,9 +285,7 @@ mod tests {
         // any 16-bit projection bucket count far from uniform. We test that
         // all 512 tags are distinct (collision probability ~ 2^-23).
         let u = Umac::new(&key(8));
-        let mut tags: Vec<u32> = (0..512u32)
-            .map(|i| u.tag32(7, &i.to_le_bytes()))
-            .collect();
+        let mut tags: Vec<u32> = (0..512u32).map(|i| u.tag32(7, &i.to_le_bytes())).collect();
         tags.sort_unstable();
         tags.dedup();
         assert_eq!(tags.len(), 512);

@@ -41,12 +41,14 @@ pub struct FilterCheck {
 }
 
 impl FilterCheck {
-    const PASS_FREE: FilterCheck =
-        FilterCheck { decision: FilterDecision::Pass, lookup_cycles: 0 };
+    const PASS_FREE: FilterCheck = FilterCheck {
+        decision: FilterDecision::Pass,
+        lookup_cycles: 0,
+    };
 }
 
 /// Which enforcement design a simulation runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EnforcementKind {
     /// No switch enforcement (stock IBA behaviour; HCAs still check).
     NoFiltering,
@@ -56,6 +58,14 @@ pub enum EnforcementKind {
 }
 
 impl EnforcementKind {
+    /// Every design, in the paper's Figure 5 presentation order.
+    pub const ALL: [EnforcementKind; 4] = [
+        EnforcementKind::NoFiltering,
+        EnforcementKind::Dpt,
+        EnforcementKind::If,
+        EnforcementKind::Sif,
+    ];
+
     /// Display label matching the paper's Figure 5 x-axis.
     pub fn label(self) -> &'static str {
         match self {
@@ -64,6 +74,11 @@ impl EnforcementKind {
             EnforcementKind::If => "IF",
             EnforcementKind::Sif => "SIF",
         }
+    }
+
+    /// Inverse of [`label`](Self::label), for JSON round-trips.
+    pub fn from_label(label: &str) -> Option<EnforcementKind> {
+        Self::ALL.into_iter().find(|k| k.label() == label)
     }
 }
 
@@ -76,8 +91,14 @@ pub trait PartitionEnforcer {
     /// * `is_edge_port` — whether that port connects directly to an end
     ///   node (ingress position for IF/SIF).
     /// * `slid`/`pkey` — from the packet's LRH/BTH.
-    fn check(&mut self, now: u64, port: usize, is_edge_port: bool, slid: Lid, pkey: PKey)
-        -> FilterCheck;
+    fn check(
+        &mut self,
+        now: u64,
+        port: usize,
+        is_edge_port: bool,
+        slid: Lid,
+        pkey: PKey,
+    ) -> FilterCheck;
 
     /// Which design this is.
     fn kind(&self) -> EnforcementKind;
@@ -116,18 +137,30 @@ impl DptEnforcer {
     /// Build with the union of every P_Key this switch might legitimately
     /// carry (in the paper's model: all `n·p` memberships).
     pub fn new(all_pkeys: impl IntoIterator<Item = PKey>) -> Self {
-        DptEnforcer { table: PartitionTable::from_keys(all_pkeys) }
+        DptEnforcer {
+            table: PartitionTable::from_keys(all_pkeys),
+        }
     }
 }
 
 impl PartitionEnforcer for DptEnforcer {
-    fn check(&mut self, _now: u64, _port: usize, _is_edge: bool, _slid: Lid, pkey: PKey)
-        -> FilterCheck {
+    fn check(
+        &mut self,
+        _now: u64,
+        _port: usize,
+        _is_edge: bool,
+        _slid: Lid,
+        pkey: PKey,
+    ) -> FilterCheck {
         // Every packet, every hop: one table probe (1 cycle per the paper's
         // CACTI-based estimate).
         let (ok, _) = self.table.check(pkey);
         FilterCheck {
-            decision: if ok { FilterDecision::Pass } else { FilterDecision::Drop },
+            decision: if ok {
+                FilterDecision::Pass
+            } else {
+                FilterDecision::Drop
+            },
             lookup_cycles: 1,
         }
     }
@@ -159,8 +192,14 @@ impl IfEnforcer {
 }
 
 impl PartitionEnforcer for IfEnforcer {
-    fn check(&mut self, _now: u64, port: usize, is_edge: bool, _slid: Lid, pkey: PKey)
-        -> FilterCheck {
+    fn check(
+        &mut self,
+        _now: u64,
+        port: usize,
+        is_edge: bool,
+        _slid: Lid,
+        pkey: PKey,
+    ) -> FilterCheck {
         if !is_edge {
             return FilterCheck::PASS_FREE;
         }
@@ -168,7 +207,11 @@ impl PartitionEnforcer for IfEnforcer {
             Some(table) => {
                 let (ok, _) = table.check(pkey);
                 FilterCheck {
-                    decision: if ok { FilterDecision::Pass } else { FilterDecision::Drop },
+                    decision: if ok {
+                        FilterDecision::Pass
+                    } else {
+                        FilterDecision::Drop
+                    },
                     lookup_cycles: 1,
                 }
             }
@@ -240,8 +283,14 @@ impl SifEnforcer {
 }
 
 impl PartitionEnforcer for SifEnforcer {
-    fn check(&mut self, now: u64, port: usize, is_edge: bool, _slid: Lid, pkey: PKey)
-        -> FilterCheck {
+    fn check(
+        &mut self,
+        now: u64,
+        port: usize,
+        is_edge: bool,
+        _slid: Lid,
+        pkey: PKey,
+    ) -> FilterCheck {
         if !is_edge {
             return FilterCheck::PASS_FREE;
         }
@@ -262,9 +311,15 @@ impl PartitionEnforcer for SifEnforcer {
             state.violation_counter += 1;
             state.last_violation = now;
             self.dropped += 1;
-            FilterCheck { decision: FilterDecision::Drop, lookup_cycles: 1 }
+            FilterCheck {
+                decision: FilterDecision::Drop,
+                lookup_cycles: 1,
+            }
         } else {
-            FilterCheck { decision: FilterDecision::Pass, lookup_cycles: 1 }
+            FilterCheck {
+                decision: FilterDecision::Pass,
+                lookup_cycles: 1,
+            }
         }
     }
 
@@ -277,7 +332,9 @@ impl PartitionEnforcer for SifEnforcer {
     }
 
     fn register_invalid(&mut self, now: u64, port: usize, pkey: PKey) {
-        let Some(state) = self.ports.get_mut(port) else { return };
+        let Some(state) = self.ports.get_mut(port) else {
+            return;
+        };
         if !state.invalid_table.contains(&pkey) {
             if state.invalid_table.len() >= self.max_invalid_entries {
                 // Table exhausted: fall back to evicting the oldest entry —
@@ -359,7 +416,10 @@ mod tests {
     fn sif_self_disables_when_idle() {
         let mut e = SifEnforcer::new(5, 100, 16);
         e.register_invalid(0, 2, PKey(0x6666));
-        assert_eq!(e.check(50, 2, EDGE, Lid(1), PKey(0x6666)).decision, FilterDecision::Drop);
+        assert_eq!(
+            e.check(50, 2, EDGE, Lid(1), PKey(0x6666)).decision,
+            FilterDecision::Drop
+        );
         // Quiet period ≥ idle_timeout: next check disables and passes.
         let c = e.check(151, 2, EDGE, Lid(1), PKey(0x6666));
         assert_eq!(c.decision, FilterDecision::Pass);
@@ -398,7 +458,10 @@ mod tests {
         }
         assert!(e.table_entries() <= 4);
         // Most recent keys retained.
-        assert_eq!(e.check(1, 0, EDGE, Lid(1), PKey(0x4009)).decision, FilterDecision::Drop);
+        assert_eq!(
+            e.check(1, 0, EDGE, Lid(1), PKey(0x4009)).decision,
+            FilterDecision::Drop
+        );
     }
 
     #[test]

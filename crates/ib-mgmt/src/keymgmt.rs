@@ -51,7 +51,9 @@ pub struct KeyEnvelope {
 impl KeyEnvelope {
     /// Seal `secret` to `recipient`.
     pub fn seal(secret: &SecretKey, recipient: &PublicKey) -> Self {
-        KeyEnvelope { ciphertext: toyrsa::encrypt(recipient, &secret.0) }
+        KeyEnvelope {
+            ciphertext: toyrsa::encrypt(recipient, &secret.0),
+        }
     }
 
     /// Open with the recipient's private key.
@@ -73,7 +75,11 @@ pub struct PartitionKeyManager {
 impl PartitionKeyManager {
     /// Deterministic manager for a simulation seed.
     pub fn new(seed: u64) -> Self {
-        PartitionKeyManager { secrets: HashMap::new(), counter: 0, seed }
+        PartitionKeyManager {
+            secrets: HashMap::new(),
+            counter: 0,
+            seed,
+        }
     }
 
     /// Create (or look up) the secret for a partition. "When the SM creates
@@ -81,7 +87,10 @@ impl PartitionKeyManager {
     pub fn create_partition(&mut self, pkey: PKey) -> SecretKey {
         self.counter += 1;
         let seed = self.seed ^ (self.counter << 17) ^ pkey.0 as u64;
-        *self.secrets.entry(pkey).or_insert_with(|| SecretKey::from_seed(seed))
+        *self
+            .secrets
+            .entry(pkey)
+            .or_insert_with(|| SecretKey::from_seed(seed))
     }
 
     /// The secret for `pkey`, if the partition exists.
@@ -168,7 +177,12 @@ pub struct QpKeyManager {
 impl QpKeyManager {
     /// Deterministic manager for a node.
     pub fn new(seed: u64) -> Self {
-        QpKeyManager { counter: 0, seed, qkeys: HashMap::new(), next_qkey: 0x1000 }
+        QpKeyManager {
+            counter: 0,
+            seed,
+            qkeys: HashMap::new(),
+            next_qkey: 0x1000,
+        }
     }
 
     fn mint(&mut self) -> SecretKey {
@@ -259,22 +273,10 @@ mod tests {
         let mut node_a = NodeKeyTable::new();
         let mut node_b = NodeKeyTable::new();
         let mut node_c = NodeKeyTable::new();
-        node_a.install_partition_secret(
-            p1,
-            sm.distribute(p1, &pk_a).unwrap().open(&sk_a).unwrap(),
-        );
-        node_a.install_partition_secret(
-            p2,
-            sm.distribute(p2, &pk_a).unwrap().open(&sk_a).unwrap(),
-        );
-        node_b.install_partition_secret(
-            p1,
-            sm.distribute(p1, &pk_b).unwrap().open(&sk_b).unwrap(),
-        );
-        node_c.install_partition_secret(
-            p2,
-            sm.distribute(p2, &pk_c).unwrap().open(&sk_c).unwrap(),
-        );
+        node_a.install_partition_secret(p1, sm.distribute(p1, &pk_a).unwrap().open(&sk_a).unwrap());
+        node_a.install_partition_secret(p2, sm.distribute(p2, &pk_a).unwrap().open(&sk_a).unwrap());
+        node_b.install_partition_secret(p1, sm.distribute(p1, &pk_b).unwrap().open(&sk_b).unwrap());
+        node_c.install_partition_secret(p2, sm.distribute(p2, &pk_c).unwrap().open(&sk_c).unwrap());
 
         // A and B agree on S_K1; A and C on S_K2; B knows nothing of II.
         assert_eq!(node_a.partition_secret(p1), Some(s_k1));

@@ -66,7 +66,9 @@ impl SubnetManager {
 
     /// Node index for a LID, if assigned.
     pub fn node_of(&self, lid: Lid) -> Option<usize> {
-        (lid.0 as usize).checked_sub(1).filter(|i| *i < self.lids.len())
+        (lid.0 as usize)
+            .checked_sub(1)
+            .filter(|i| *i < self.lids.len())
     }
 
     /// Record where a node is attached (done during subnet sweep).
@@ -132,9 +134,16 @@ impl SubnetManager {
     pub fn handle_trap(&mut self, trap: &Trap) -> Option<ProgramFilter> {
         self.traps_handled += 1;
         match trap.kind {
-            TrapKind::PKeyViolation { bad_pkey, violator_slid } => {
+            TrapKind::PKeyViolation {
+                bad_pkey,
+                violator_slid,
+            } => {
                 let &(switch, port) = self.attachments.get(&violator_slid)?;
-                Some(ProgramFilter { switch, port, pkey: bad_pkey })
+                Some(ProgramFilter {
+                    switch,
+                    port,
+                    pkey: bad_pkey,
+                })
             }
             TrapKind::MKeyViolation { .. } => None,
         }
@@ -181,7 +190,14 @@ mod tests {
         sm.attach(Lid(3), 7, 4);
         let trap = Trap::pkey_violation(Lid(1), PKey(0x6666), Lid(3), 1);
         let action = sm.handle_trap(&trap).unwrap();
-        assert_eq!(action, ProgramFilter { switch: 7, port: 4, pkey: PKey(0x6666) });
+        assert_eq!(
+            action,
+            ProgramFilter {
+                switch: 7,
+                port: 4,
+                pkey: PKey(0x6666)
+            }
+        );
         assert_eq!(sm.traps_handled, 1);
     }
 

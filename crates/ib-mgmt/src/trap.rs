@@ -44,10 +44,18 @@ pub struct Trap {
 
 impl Trap {
     /// Convenience constructor for the P_Key-violation trap.
-    pub fn pkey_violation(reporter: Lid, bad_pkey: PKey, violator_slid: Lid, sequence: u64) -> Self {
+    pub fn pkey_violation(
+        reporter: Lid,
+        bad_pkey: PKey,
+        violator_slid: Lid,
+        sequence: u64,
+    ) -> Self {
         Trap {
             reporter,
-            kind: TrapKind::PKeyViolation { bad_pkey, violator_slid },
+            kind: TrapKind::PKeyViolation {
+                bad_pkey,
+                violator_slid,
+            },
             sequence,
         }
     }
@@ -56,14 +64,15 @@ impl Trap {
     /// what actually travels to the SM on VL15.
     pub fn to_mad(&self) -> ib_packet::mad::Mad {
         match self.kind {
-            TrapKind::PKeyViolation { bad_pkey, violator_slid } => {
-                ib_packet::mad::Mad::pkey_violation_trap(
-                    self.reporter,
-                    bad_pkey,
-                    violator_slid,
-                    self.sequence,
-                )
-            }
+            TrapKind::PKeyViolation {
+                bad_pkey,
+                violator_slid,
+            } => ib_packet::mad::Mad::pkey_violation_trap(
+                self.reporter,
+                bad_pkey,
+                violator_slid,
+                self.sequence,
+            ),
             TrapKind::MKeyViolation { violator_slid } => {
                 // Modeled with the same Notice layout, trap number left as
                 // 257; M_Key traps are not routed to SIF programming.
@@ -82,7 +91,10 @@ impl Trap {
         let (reporter, violator_slid, bad_pkey) = mad.decode_pkey_violation()?;
         Some(Trap {
             reporter,
-            kind: TrapKind::PKeyViolation { bad_pkey, violator_slid },
+            kind: TrapKind::PKeyViolation {
+                bad_pkey,
+                violator_slid,
+            },
             sequence: mad.transaction_id,
         })
     }
@@ -103,7 +115,11 @@ impl TrapThrottle {
     /// A throttle emitting at most one trap per `min_interval` time units
     /// per offending P_Key.
     pub fn new(min_interval: u64) -> Self {
-        TrapThrottle { min_interval, last_sent: Vec::new(), sequence: 0 }
+        TrapThrottle {
+            min_interval,
+            last_sent: Vec::new(),
+            sequence: 0,
+        }
     }
 
     /// Ask to emit a P_Key-violation trap at time `now`; returns the trap
@@ -124,7 +140,12 @@ impl TrapThrottle {
             self.last_sent.push((bad_pkey, now));
         }
         self.sequence += 1;
-        Some(Trap::pkey_violation(reporter, bad_pkey, violator_slid, self.sequence))
+        Some(Trap::pkey_violation(
+            reporter,
+            bad_pkey,
+            violator_slid,
+            self.sequence,
+        ))
     }
 }
 
@@ -137,7 +158,10 @@ mod tests {
         let mut th = TrapThrottle::new(100);
         let t0 = th.offer(0, Lid(1), PKey(0x9), Lid(2));
         assert!(t0.is_some());
-        assert!(th.offer(50, Lid(1), PKey(0x9), Lid(2)).is_none(), "too soon");
+        assert!(
+            th.offer(50, Lid(1), PKey(0x9), Lid(2)).is_none(),
+            "too soon"
+        );
         assert!(th.offer(100, Lid(1), PKey(0x9), Lid(2)).is_some());
     }
 
@@ -145,7 +169,10 @@ mod tests {
     fn throttle_is_per_pkey() {
         let mut th = TrapThrottle::new(100);
         assert!(th.offer(0, Lid(1), PKey(0x9), Lid(2)).is_some());
-        assert!(th.offer(1, Lid(1), PKey(0xA), Lid(2)).is_some(), "different key");
+        assert!(
+            th.offer(1, Lid(1), PKey(0xA), Lid(2)).is_some(),
+            "different key"
+        );
     }
 
     #[test]
@@ -169,7 +196,10 @@ mod tests {
     fn trap_carries_violator() {
         let t = Trap::pkey_violation(Lid(5), PKey(0x77), Lid(9), 1);
         match t.kind {
-            TrapKind::PKeyViolation { bad_pkey, violator_slid } => {
+            TrapKind::PKeyViolation {
+                bad_pkey,
+                violator_slid,
+            } => {
                 assert_eq!(bad_pkey, PKey(0x77));
                 assert_eq!(violator_slid, Lid(9));
             }

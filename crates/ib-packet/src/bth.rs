@@ -74,7 +74,10 @@ impl Bth {
     /// Parse from the first 12 bytes of `buf`.
     pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
         if buf.len() < BTH_LEN {
-            return Err(ParseError::Truncated { needed: BTH_LEN, got: buf.len() });
+            return Err(ParseError::Truncated {
+                needed: BTH_LEN,
+                got: buf.len(),
+            });
         }
         let opcode = OpCode::from_byte(buf[0]).ok_or(ParseError::UnknownOpCode(buf[0]))?;
         let tver = buf[1] & 0x0F;

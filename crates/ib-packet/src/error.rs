@@ -17,7 +17,10 @@ pub enum ParseError {
     /// Unknown BTH opcode byte.
     UnknownOpCode(u8),
     /// LRH `PktLen` disagrees with the buffer length.
-    LengthMismatch { header_words: u16, actual_words: usize },
+    LengthMismatch {
+        header_words: u16,
+        actual_words: usize,
+    },
     /// VCRC check failed (link-level corruption).
     BadVcrc { expected: u16, got: u16 },
     /// ICRC check failed — corruption, or an authentication tag checked as
@@ -41,21 +44,33 @@ impl fmt::Display for ParseError {
             }
             ParseError::UnsupportedLnh(v) => write!(f, "unsupported LRH next-header code {v}"),
             ParseError::UnknownOpCode(v) => write!(f, "unknown BTH opcode {v:#04x}"),
-            ParseError::LengthMismatch { header_words, actual_words } => write!(
+            ParseError::LengthMismatch {
+                header_words,
+                actual_words,
+            } => write!(
                 f,
                 "LRH PktLen {header_words} words but buffer has {actual_words} words"
             ),
             ParseError::BadVcrc { expected, got } => {
-                write!(f, "VCRC mismatch: computed {expected:#06x}, packet has {got:#06x}")
+                write!(
+                    f,
+                    "VCRC mismatch: computed {expected:#06x}, packet has {got:#06x}"
+                )
             }
             ParseError::BadIcrc { expected, got } => {
-                write!(f, "ICRC mismatch: computed {expected:#010x}, packet has {got:#010x}")
+                write!(
+                    f,
+                    "ICRC mismatch: computed {expected:#010x}, packet has {got:#010x}"
+                )
             }
             ParseError::TooLarge { len, mtu } => {
                 write!(f, "payload {len} bytes exceeds MTU {mtu}")
             }
             ParseError::BadPadCount { pad, payload_len } => {
-                write!(f, "pad count {pad} inconsistent with payload length {payload_len}")
+                write!(
+                    f,
+                    "pad count {pad} inconsistent with payload length {payload_len}"
+                )
             }
         }
     }
@@ -69,9 +84,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ParseError::Truncated { needed: 26, got: 10 };
+        let e = ParseError::Truncated {
+            needed: 26,
+            got: 10,
+        };
         assert!(e.to_string().contains("26"));
-        let e = ParseError::BadIcrc { expected: 1, got: 2 };
+        let e = ParseError::BadIcrc {
+            expected: 1,
+            got: 2,
+        };
         assert!(e.to_string().contains("ICRC"));
     }
 }

@@ -35,7 +35,10 @@ impl Deth {
     /// Parse from the first 8 bytes of `buf`.
     pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
         if buf.len() < DETH_LEN {
-            return Err(ParseError::Truncated { needed: DETH_LEN, got: buf.len() });
+            return Err(ParseError::Truncated {
+                needed: DETH_LEN,
+                got: buf.len(),
+            });
         }
         Ok(Deth {
             qkey: QKey(u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]])),
@@ -72,7 +75,10 @@ impl Reth {
     /// Parse from the first 16 bytes of `buf`.
     pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
         if buf.len() < RETH_LEN {
-            return Err(ParseError::Truncated { needed: RETH_LEN, got: buf.len() });
+            return Err(ParseError::Truncated {
+                needed: RETH_LEN,
+                got: buf.len(),
+            });
         }
         Ok(Reth {
             virt_addr: u64::from_be_bytes(buf[0..8].try_into().unwrap()),
@@ -105,7 +111,10 @@ impl Aeth {
     /// Parse from the first 4 bytes of `buf`.
     pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
         if buf.len() < AETH_LEN {
-            return Err(ParseError::Truncated { needed: AETH_LEN, got: buf.len() });
+            return Err(ParseError::Truncated {
+                needed: AETH_LEN,
+                got: buf.len(),
+            });
         }
         Ok(Aeth {
             syndrome: buf[0],
@@ -130,7 +139,10 @@ impl ImmDt {
     /// Parse from the first 4 bytes of `buf`.
     pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
         if buf.len() < IMMDT_LEN {
-            return Err(ParseError::Truncated { needed: IMMDT_LEN, got: buf.len() });
+            return Err(ParseError::Truncated {
+                needed: IMMDT_LEN,
+                got: buf.len(),
+            });
         }
         Ok(ImmDt(u32::from_be_bytes(buf[0..4].try_into().unwrap())))
     }
@@ -142,13 +154,19 @@ mod tests {
 
     #[test]
     fn deth_roundtrip() {
-        let deth = Deth { qkey: QKey(0xDEAD_BEEF), src_qp: Qpn(0x00012345) };
+        let deth = Deth {
+            qkey: QKey(0xDEAD_BEEF),
+            src_qp: Qpn(0x00012345),
+        };
         assert_eq!(Deth::parse(&deth.to_bytes()).unwrap(), deth);
     }
 
     #[test]
     fn deth_reserved_byte_zero() {
-        let deth = Deth { qkey: QKey(1), src_qp: Qpn(2) };
+        let deth = Deth {
+            qkey: QKey(1),
+            src_qp: Qpn(2),
+        };
         assert_eq!(deth.to_bytes()[4], 0);
     }
 
@@ -164,13 +182,19 @@ mod tests {
 
     #[test]
     fn aeth_roundtrip() {
-        let aeth = Aeth { syndrome: 0x1F, msn: 0x00ABCDEF };
+        let aeth = Aeth {
+            syndrome: 0x1F,
+            msn: 0x00ABCDEF,
+        };
         assert_eq!(Aeth::parse(&aeth.to_bytes()).unwrap(), aeth);
     }
 
     #[test]
     fn aeth_msn_masked() {
-        let aeth = Aeth { syndrome: 0, msn: 0xFF123456 };
+        let aeth = Aeth {
+            syndrome: 0,
+            msn: 0xFF123456,
+        };
         let parsed = Aeth::parse(&aeth.to_bytes()).unwrap();
         assert_eq!(parsed.msn, 0x00123456);
     }

@@ -70,7 +70,10 @@ impl Grh {
     /// Parse from the first 40 bytes of `buf`.
     pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
         if buf.len() < GRH_LEN {
-            return Err(ParseError::Truncated { needed: GRH_LEN, got: buf.len() });
+            return Err(ParseError::Truncated {
+                needed: GRH_LEN,
+                got: buf.len(),
+            });
         }
         let word0 = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
         Ok(Grh {
@@ -128,7 +131,10 @@ mod tests {
     fn truncated_rejected() {
         assert!(matches!(
             Grh::parse(&[0u8; 39]),
-            Err(ParseError::Truncated { needed: 40, got: 39 })
+            Err(ParseError::Truncated {
+                needed: 40,
+                got: 39
+            })
         ));
     }
 

@@ -68,7 +68,10 @@ impl Lrh {
     /// Parse from the first 8 bytes of `buf`.
     pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
         if buf.len() < LRH_LEN {
-            return Err(ParseError::Truncated { needed: LRH_LEN, got: buf.len() });
+            return Err(ParseError::Truncated {
+                needed: LRH_LEN,
+                got: buf.len(),
+            });
         }
         let lver = buf[0] & 0x0F;
         if lver != 0 {

@@ -122,7 +122,10 @@ impl Mad {
     /// Parse from wire bytes.
     pub fn parse(buf: &[u8]) -> Result<Mad, ParseError> {
         if buf.len() < MAD_LEN {
-            return Err(ParseError::Truncated { needed: MAD_LEN, got: buf.len() });
+            return Err(ParseError::Truncated {
+                needed: MAD_LEN,
+                got: buf.len(),
+            });
         }
         let mgmt_class = match buf[1] {
             0x01 => MgmtClass::SubnLid,
@@ -258,7 +261,10 @@ mod tests {
     fn parse_rejects_truncated_and_unknown() {
         assert!(matches!(
             Mad::parse(&[0u8; 255]),
-            Err(ParseError::Truncated { needed: 256, got: 255 })
+            Err(ParseError::Truncated {
+                needed: 256,
+                got: 255
+            })
         ));
         let mut bytes = Mad::default().to_bytes();
         bytes[1] = 0x42; // bogus class

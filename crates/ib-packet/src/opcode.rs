@@ -83,9 +83,7 @@ impl Operation {
     pub fn has_reth(self) -> bool {
         matches!(
             self,
-            Operation::RdmaWriteFirst
-                | Operation::RdmaWriteOnly
-                | Operation::RdmaReadRequest
+            Operation::RdmaWriteFirst | Operation::RdmaWriteOnly | Operation::RdmaReadRequest
         )
     }
 
@@ -157,8 +155,13 @@ impl OpCode {
         let operation = Operation::from_bits(b & 0x1F)?;
         // UD supports only sends (spec table 38).
         if service == TransportService::UnreliableDatagram
-            && !matches!(operation, Operation::SendFirst | Operation::SendOnly
-                | Operation::SendMiddle | Operation::SendLast)
+            && !matches!(
+                operation,
+                Operation::SendFirst
+                    | Operation::SendOnly
+                    | Operation::SendMiddle
+                    | Operation::SendLast
+            )
         {
             return None;
         }

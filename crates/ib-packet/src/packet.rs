@@ -98,7 +98,7 @@ impl Packet {
             out.extend_from_slice(&aeth.to_bytes());
         }
         out.extend_from_slice(&self.payload);
-        out.extend(std::iter::repeat(0u8).take(self.bth.pad_count as usize));
+        out.extend(std::iter::repeat_n(0u8, self.bth.pad_count as usize));
         out.extend_from_slice(&self.icrc.to_be_bytes());
         out.extend_from_slice(&self.vcrc.to_be_bytes());
         out
@@ -136,7 +136,7 @@ impl Packet {
             out.extend_from_slice(&aeth.to_bytes());
         }
         out.extend_from_slice(&self.payload);
-        out.extend(std::iter::repeat(0u8).take(self.bth.pad_count as usize));
+        out.extend(std::iter::repeat_n(0u8, self.bth.pad_count as usize));
         out
     }
 
@@ -242,7 +242,10 @@ impl Packet {
         let lrh = Lrh::parse(buf)?;
         let expected_len = lrh.pkt_len as usize * 4 + VCRC_LEN;
         if buf.len() < expected_len {
-            return Err(ParseError::Truncated { needed: expected_len, got: buf.len() });
+            return Err(ParseError::Truncated {
+                needed: expected_len,
+                got: buf.len(),
+            });
         }
         if buf.len() != expected_len {
             return Err(ParseError::LengthMismatch {
@@ -283,7 +286,10 @@ impl Packet {
         };
         let trailer = ICRC_LEN + VCRC_LEN;
         if buf.len() < off + trailer {
-            return Err(ParseError::Truncated { needed: off + trailer, got: buf.len() });
+            return Err(ParseError::Truncated {
+                needed: off + trailer,
+                got: buf.len(),
+            });
         }
         let padded_payload_len = buf.len() - off - trailer;
         if (bth.pad_count as usize) > padded_payload_len {
@@ -297,10 +303,23 @@ impl Packet {
         let icrc_off = off + padded_payload_len;
         let icrc = u32::from_be_bytes(buf[icrc_off..icrc_off + 4].try_into().unwrap());
         let vcrc = u16::from_be_bytes(buf[icrc_off + 4..icrc_off + 6].try_into().unwrap());
-        let pkt = Packet { lrh, grh, bth, deth, reth, aeth, payload, icrc, vcrc };
+        let pkt = Packet {
+            lrh,
+            grh,
+            bth,
+            deth,
+            reth,
+            aeth,
+            payload,
+            icrc,
+            vcrc,
+        };
         let computed_vcrc = pkt.compute_vcrc();
         if computed_vcrc != vcrc {
-            return Err(ParseError::BadVcrc { expected: computed_vcrc, got: vcrc });
+            return Err(ParseError::BadVcrc {
+                expected: computed_vcrc,
+                got: vcrc,
+            });
         }
         Ok(pkt)
     }
@@ -328,7 +347,10 @@ impl PacketBuilder {
     /// Start a packet with the given opcode; extended headers the opcode
     /// requires are created with default contents.
     pub fn new(opcode: OpCode) -> Self {
-        let bth = Bth { opcode, ..Bth::default() };
+        let bth = Bth {
+            opcode,
+            ..Bth::default()
+        };
         let packet = Packet {
             lrh: Lrh {
                 vl: VirtualLane(0),
@@ -415,11 +437,7 @@ impl PacketBuilder {
 
     /// RDMA target (panics if the opcode carries no RETH).
     pub fn rdma(mut self, virt_addr: u64, rkey: RKey, dma_len: u32) -> Self {
-        let reth = self
-            .packet
-            .reth
-            .as_mut()
-            .expect("opcode carries no RETH");
+        let reth = self.packet.reth.as_mut().expect("opcode carries no RETH");
         reth.virt_addr = virt_addr;
         reth.rkey = rkey;
         reth.dma_len = dma_len;
@@ -549,8 +567,15 @@ mod tests {
         let mut pkt = rc_packet(64);
         let icrc_before = pkt.compute_icrc();
         pkt.bth.resv8a = 3;
-        assert_eq!(pkt.compute_icrc(), icrc_before, "Resv8a is masked from ICRC");
-        assert!(!pkt.vcrc_ok(), "VCRC covers the raw bytes, must be refreshed");
+        assert_eq!(
+            pkt.compute_icrc(),
+            icrc_before,
+            "Resv8a is masked from ICRC"
+        );
+        assert!(
+            !pkt.vcrc_ok(),
+            "VCRC covers the raw bytes, must be refreshed"
+        );
     }
 
     #[test]
@@ -603,7 +628,10 @@ mod tests {
             .qkey(QKey(77), Qpn(5))
             .payload(vec![0xEE; 45])
             .build();
-        assert_eq!(ib_crypto::crc::crc32_ieee(&pkt.icrc_message()), pkt.compute_icrc());
+        assert_eq!(
+            ib_crypto::crc::crc32_ieee(&pkt.icrc_message()),
+            pkt.compute_icrc()
+        );
     }
 
     #[test]
@@ -628,7 +656,10 @@ mod tests {
         let mut bytes = pkt.to_bytes();
         let n = bytes.len();
         bytes[n - 1] ^= 0xFF;
-        assert!(matches!(Packet::parse(&bytes), Err(ParseError::BadVcrc { .. })));
+        assert!(matches!(
+            Packet::parse(&bytes),
+            Err(ParseError::BadVcrc { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Micro-benchmark harness for `harness = false` bench targets.
+//!
+//! Replaces the criterion dependency with the subset the workspace's
+//! benches actually use: named groups, per-benchmark warmup, adaptive
+//! batch sizing, mean/stddev over timed samples, and optional bytes/s
+//! throughput reporting. Results print as aligned plain text; trends
+//! matter here, not microsecond-perfect confidence intervals.
+
+use std::time::{Duration, Instant};
+
+/// Sampling parameters. `quick()` keeps smoke runs fast; defaults mirror
+/// the criterion settings the benches used (20 samples, ~2 s measurement,
+/// 500 ms warmup).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    pub warmup: Duration,
+    pub measurement: Duration,
+    pub samples: u32,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warmup: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            samples: 20,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Reduced sampling for smoke tests (`--quick`).
+    pub fn quick() -> Self {
+        BenchConfig {
+            warmup: Duration::from_millis(50),
+            measurement: Duration::from_millis(200),
+            samples: 5,
+        }
+    }
+}
+
+/// One benchmark's measurements.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id, `group/name`.
+    pub id: String,
+    /// Mean time per iteration, ns.
+    pub mean_ns: f64,
+    /// Standard deviation across samples, ns.
+    pub stddev_ns: f64,
+    /// Fastest sample, ns.
+    pub min_ns: f64,
+    /// Bytes processed per iteration, if declared.
+    pub throughput_bytes: Option<u64>,
+}
+
+impl Measurement {
+    /// Bytes/second implied by the mean time, if throughput was declared.
+    pub fn bytes_per_sec(&self) -> Option<f64> {
+        self.throughput_bytes
+            .map(|b| b as f64 / (self.mean_ns / 1e9))
+    }
+}
+
+/// The top-level harness a bench target's `main` drives.
+pub struct Harness {
+    config: BenchConfig,
+    filter: Option<String>,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Build from CLI arguments: `--quick` shrinks sampling, the first
+    /// non-flag argument becomes a substring filter on benchmark ids
+    /// (criterion's convention). Harness flags cargo may pass
+    /// (`--bench`, `--test`) are ignored.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Harness {
+            config: if quick {
+                BenchConfig::quick()
+            } else {
+                BenchConfig::default()
+            },
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Override sampling (tests use this to stay fast).
+    pub fn with_config(mut self, config: BenchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_string(),
+            throughput_bytes: None,
+        }
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Print a closing summary line. Call at the end of `main`.
+    pub fn finish(&self) {
+        println!("\n{} benchmarks measured.", self.results.len());
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    name: String,
+    throughput_bytes: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Declare how many bytes one iteration processes, enabling the
+    /// throughput column.
+    pub fn throughput_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.throughput_bytes = Some(bytes);
+        self
+    }
+
+    /// Measure `f`, printing one result line. Skipped (silently) if a CLI
+    /// filter was given and the id doesn't contain it.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.harness.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let cfg = self.harness.config;
+
+        // Warmup, and discover a batch size that runs ≳1/10 of a sample
+        // window so Instant overhead stays negligible.
+        let mut batch: u64 = 1;
+        let warmup_end = Instant::now() + cfg.warmup;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            let sample_window = cfg.measurement / cfg.samples;
+            if elapsed * 10 >= sample_window && Instant::now() >= warmup_end {
+                break;
+            }
+            if elapsed * 10 < sample_window {
+                batch = batch.saturating_mul(2);
+            }
+        }
+
+        // Timed samples.
+        let mut sample_ns = Vec::with_capacity(cfg.samples as usize);
+        for _ in 0..cfg.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        let n = sample_ns.len() as f64;
+        let mean = sample_ns.iter().sum::<f64>() / n;
+        let var = sample_ns
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / n;
+        let m = Measurement {
+            id: full_id,
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+            min_ns: sample_ns.iter().cloned().fold(f64::INFINITY, f64::min),
+            throughput_bytes: self.throughput_bytes,
+        };
+        print_measurement(&m);
+        self.harness.results.push(m);
+        self
+    }
+
+    /// End the group (marker for readability; groups also end on drop).
+    pub fn finish(self) {}
+}
+
+fn print_measurement(m: &Measurement) {
+    let time = format_ns(m.mean_ns);
+    let spread = format_ns(m.stddev_ns);
+    match m.bytes_per_sec() {
+        Some(bps) => println!(
+            "{:<44} {:>12}/iter (± {:>9})  {:>10}/s",
+            m.id,
+            time,
+            spread,
+            format_bytes(bps)
+        ),
+        None => println!("{:<44} {:>12}/iter (± {:>9})", m.id, time, spread),
+    }
+}
+
+/// Human-readable nanosecond quantity.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Human-readable byte quantity.
+pub fn format_bytes(b: f64) -> String {
+    if b < 1e3 {
+        format!("{b:.0} B")
+    } else if b < 1e6 {
+        format!("{:.1} KB", b / 1e3)
+    } else if b < 1e9 {
+        format!("{:.1} MB", b / 1e6)
+    } else {
+        format!("{:.2} GB", b / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            warmup: Duration::from_millis(1),
+            measurement: Duration::from_millis(10),
+            samples: 3,
+        }
+    }
+
+    #[test]
+    fn measures_something_sane() {
+        let mut h = Harness {
+            config: tiny(),
+            filter: None,
+            results: Vec::new(),
+        };
+        let data = vec![1u64; 1024];
+        h.group("sum")
+            .throughput_bytes(8 * 1024)
+            .bench("u64x1024", || data.iter().sum::<u64>());
+        assert_eq!(h.results().len(), 1);
+        let m = &h.results()[0];
+        assert_eq!(m.id, "sum/u64x1024");
+        assert!(m.mean_ns > 0.0);
+        assert!(m.min_ns <= m.mean_ns);
+        let bps = m.bytes_per_sec().expect("throughput declared");
+        // Summing 8 KiB must beat 8 MB/s on anything that can run tests.
+        assert!(bps > 8e6, "{bps} B/s");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = Harness {
+            config: tiny(),
+            filter: Some("match-me".into()),
+            results: Vec::new(),
+        };
+        h.group("g")
+            .bench("other", || 1)
+            .bench("match-me-too", || 2);
+        assert_eq!(h.results().len(), 1);
+        assert_eq!(h.results()[0].id, "g/match-me-too");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 µs");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(format_bytes(512.0), "512 B");
+        assert_eq!(format_bytes(2.5e9), "2.50 GB");
+    }
+}

@@ -1,0 +1,318 @@
+//! A seeded property-test driver with failure-case shrinking.
+//!
+//! Replaces the proptest dependency for the workspace's invariant tests:
+//! cases are generated from a deterministic [`Gen`] (so failures
+//! reproduce from the printed seed), properties are ordinary closures
+//! that panic on violation, and a failing case is greedily shrunk through
+//! caller-supplied candidate reductions before being reported.
+//!
+//! ```
+//! use ib_runtime::check;
+//!
+//! check::run(
+//!     "addition commutes",
+//!     64,
+//!     |g| (g.u64(), g.u64()),
+//!     |&(a, b)| check::shrink_pair(a, b),
+//!     |&(a, b)| assert_eq!(a.wrapping_add(b), b.wrapping_add(a)),
+//! );
+//! ```
+
+use crate::rng::{Rng, Seed};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Deterministic case generator handed to the generation closure.
+pub struct Gen {
+    rng: Rng,
+}
+
+impl Gen {
+    /// Build from a seed (the driver does this; tests rarely need to).
+    pub fn new(seed: Seed) -> Self {
+        Gen { rng: seed.rng() }
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    pub fn u64_in(&mut self, range: std::ops::Range<u64>) -> u64 {
+        self.rng.gen_range(range)
+    }
+
+    pub fn u32_in(&mut self, range: std::ops::Range<u32>) -> u32 {
+        self.rng.gen_range(range)
+    }
+
+    pub fn u16_in(&mut self, range: std::ops::Range<u16>) -> u16 {
+        self.rng.gen_range(range)
+    }
+
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    pub fn u8(&mut self) -> u8 {
+        (self.rng.next_u64() >> 56) as u8
+    }
+
+    pub fn f64(&mut self) -> f64 {
+        self.rng.next_f64()
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+
+    /// A byte vector whose length is drawn from `len`.
+    pub fn bytes(&mut self, len: std::ops::Range<usize>) -> Vec<u8> {
+        let n = self.rng.gen_range(len);
+        let mut v = vec![0u8; n];
+        self.rng.fill_bytes(&mut v);
+        v
+    }
+
+    /// An index valid for a collection of length `len` (panics on 0).
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "index into empty collection");
+        self.rng.gen_range(0..len)
+    }
+
+    /// A uniformly chosen element of the slice.
+    pub fn choose<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.index(options.len())]
+    }
+}
+
+/// Run `cases` random checks of `prop` over values from `gen`.
+///
+/// * `shrink` proposes simpler variants of a case ([`no_shrink`] opts
+///   out); on failure the driver greedily descends through failing
+///   candidates (bounded, so cyclic shrinkers still terminate).
+/// * `prop` signals violation by panicking (use the std `assert!` family).
+///
+/// The base seed comes from `CHECK_SEED` (decimal or 0x-hex) when set,
+/// else a fixed default; the failure report prints seed and case index so
+/// any failure replays exactly.
+pub fn run<T, G, S, P>(name: &str, cases: u32, mut gen: G, shrink: S, prop: P)
+where
+    T: std::fmt::Debug,
+    G: FnMut(&mut Gen) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T),
+{
+    let seed = env_seed();
+    for case_index in 0..cases {
+        let mut g = Gen::new(seed.stream(case_index as u64));
+        let case = gen(&mut g);
+        if let Err(message) = check_one(&prop, &case) {
+            let (minimal, min_message, steps) = shrink_failure(&shrink, &prop, case, message);
+            panic!(
+                "property '{name}' failed (seed {seed}, case {case_index}/{cases}, \
+                 {steps} shrink steps)\n  minimal case: {minimal:?}\n  failure: {min_message}\n  \
+                 replay: CHECK_SEED={seed} cargo test",
+            );
+        }
+    }
+}
+
+/// A `shrink` argument for cases with nothing useful to reduce.
+pub fn no_shrink<T>(_: &T) -> Vec<T> {
+    Vec::new()
+}
+
+/// Candidate reductions of an unsigned integer: toward zero by jumps,
+/// then by one.
+pub fn shrink_uint(v: u64) -> Vec<u64> {
+    if v == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![0, v / 2];
+    if v > 1 {
+        out.push(v - 1);
+    }
+    out.dedup();
+    out
+}
+
+/// Candidate reductions of a byte vector: drop halves, halve the length,
+/// zero bytes.
+pub fn shrink_bytes(v: &[u8]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let n = v.len();
+    if n == 0 {
+        return out;
+    }
+    out.push(v[..n / 2].to_vec());
+    out.push(v[n / 2..].to_vec());
+    if n > 1 {
+        out.push(v[..n - 1].to_vec());
+    }
+    if let Some(i) = v.iter().position(|&b| b != 0) {
+        let mut zeroed = v.to_vec();
+        zeroed[i] = 0;
+        out.push(zeroed);
+    }
+    out
+}
+
+/// Shrink a pair by shrinking each side independently (both `u64`).
+pub fn shrink_pair(a: u64, b: u64) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = shrink_uint(a).into_iter().map(|x| (x, b)).collect();
+    out.extend(shrink_uint(b).into_iter().map(|y| (a, y)));
+    out
+}
+
+fn env_seed() -> Seed {
+    match std::env::var("CHECK_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                v.parse().ok()
+            };
+            Seed(parsed.unwrap_or_else(|| panic!("CHECK_SEED {v:?} is not a u64")))
+        }
+        Err(_) => Seed(0xC8EC_C0DE),
+    }
+}
+
+/// Run the property on one case, capturing panics as failure messages.
+fn check_one<T>(prop: impl Fn(&T), case: &T) -> Result<(), String> {
+    let result = catch_unwind(AssertUnwindSafe(|| prop(case)));
+    match result {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(panic_message(payload)),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Greedy shrink: repeatedly move to the first candidate that still
+/// fails, up to a step bound.
+fn shrink_failure<T: std::fmt::Debug>(
+    shrink: impl Fn(&T) -> Vec<T>,
+    prop: impl Fn(&T),
+    mut case: T,
+    mut message: String,
+) -> (T, String, u32) {
+    const MAX_STEPS: u32 = 512;
+    let mut steps = 0;
+    'outer: while steps < MAX_STEPS {
+        for candidate in shrink(&case) {
+            if let Err(m) = check_one(&prop, &candidate) {
+                case = candidate;
+                message = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (case, message, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_completes() {
+        run(
+            "xor is self-inverse",
+            64,
+            |g| (g.u64(), g.u64()),
+            |&(a, b)| shrink_pair(a, b),
+            |&(a, b)| assert_eq!(a ^ b ^ b, a),
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let draw = |i: u64| {
+            let mut g = Gen::new(Seed(99).stream(i));
+            (g.u64(), g.bytes(0..64), g.u16_in(5..10))
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3).0, draw(4).0);
+    }
+
+    #[test]
+    fn failing_property_panics_with_context() {
+        let result = catch_unwind(|| {
+            run(
+                "always fails above 10",
+                64,
+                |g| g.u64_in(0..1000),
+                |&v| shrink_uint(v),
+                |&v| assert!(v <= 10, "value {v} exceeds 10"),
+            );
+        });
+        let msg = panic_message(result.expect_err("must fail"));
+        assert!(msg.contains("always fails above 10"), "{msg}");
+        assert!(msg.contains("CHECK_SEED="), "{msg}");
+        // Shrinking drives the counterexample to the boundary.
+        assert!(msg.contains("minimal case: 11"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_byte_vectors() {
+        // Fails whenever the vector contains a nonzero byte; minimal
+        // failing case is a single nonzero byte (shrunk toward [1]-like).
+        let result = catch_unwind(|| {
+            run(
+                "no nonzero bytes",
+                32,
+                |g| g.bytes(1..128),
+                |v| shrink_bytes(v),
+                |v| assert!(v.iter().all(|&b| b == 0)),
+            );
+        });
+        let msg = panic_message(result.expect_err("must fail"));
+        // The minimal case printed must be short (a one-element vec).
+        assert!(msg.contains("minimal case: ["), "{msg}");
+        let inside = msg.split("minimal case: [").nth(1).unwrap();
+        let list = inside.split(']').next().unwrap();
+        assert!(list.split(',').count() <= 2, "not minimized: [{list}]");
+    }
+
+    #[test]
+    fn gen_helpers_in_bounds() {
+        let mut g = Gen::new(Seed(1));
+        for _ in 0..200 {
+            assert!(g.u16_in(3..9) >= 3 && g.u16_in(3..9) < 9);
+            let v = g.bytes(4..8);
+            assert!((4..8).contains(&v.len()));
+            let opts = [10, 20, 30];
+            assert!(opts.contains(g.choose(&opts)));
+            assert!(g.index(5) < 5);
+            assert!(g.f64() < 1.0);
+        }
+        let _ = (
+            g.bool(),
+            g.u8(),
+            g.u32_in(0..5),
+            g.usize_in(0..5),
+            g.u64_in(0..5),
+        );
+    }
+
+    #[test]
+    fn shrink_helpers() {
+        assert!(shrink_uint(0).is_empty());
+        assert_eq!(shrink_uint(1), vec![0]);
+        assert!(shrink_uint(100).contains(&50));
+        assert!(shrink_bytes(&[]).is_empty());
+        assert!(shrink_bytes(&[5, 6]).iter().any(|v| v.len() == 1));
+        assert!(no_shrink(&42u64).is_empty());
+    }
+}

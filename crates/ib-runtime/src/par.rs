@@ -1,0 +1,136 @@
+//! Scoped parallel sweeps over `std::thread::scope`.
+//!
+//! Simulator instances are independent and deterministic, so sweeps are
+//! embarrassingly parallel (the HPC guides' "parallelize across
+//! independent work items" idiom). These helpers replace the crossbeam
+//! scoped-thread dependency with the standard library's scoped threads.
+
+/// Run `f` over every item on its own scoped thread, returning results in
+/// input order. Suited to coarse work items (a full simulation run per
+/// item); for fine-grained items prefer [`scope_map_bounded`].
+///
+/// Panics propagate: if any worker panics, the panic resurfaces here.
+pub fn scope_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, item) in results.iter_mut().zip(items) {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(item));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("scope_map: every worker fills its slot"))
+        .collect()
+}
+
+/// Like [`scope_map`], but with at most `threads` workers, each owning a
+/// contiguous chunk of items — for sweeps with many more items than cores.
+pub fn scope_map_bounded<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut remaining = items;
+    while !remaining.is_empty() {
+        let tail = remaining.split_off(chunk.min(remaining.len()));
+        chunks.push(std::mem::replace(&mut remaining, tail));
+    }
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for (slots, chunk_items) in results.chunks_mut(chunk).zip(chunks) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in slots.iter_mut().zip(chunk_items) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("scope_map_bounded: every slot filled"))
+        .collect()
+}
+
+/// A sensible worker count for [`scope_map_bounded`]: the machine's
+/// available parallelism, falling back to 4.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let out = scope_map(vec![1u64, 2, 3, 4, 5], |x| x * x);
+        assert_eq!(out, vec![1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = scope_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn threads_actually_run_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::Duration;
+        // Two workers that each wait for the other to have started: only
+        // completes if both run at once.
+        let started = AtomicUsize::new(0);
+        let out = scope_map(vec![0, 1], |i| {
+            started.fetch_add(1, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while started.load(Ordering::SeqCst) < 2 {
+                assert!(std::time::Instant::now() < deadline, "peer never started");
+                std::thread::yield_now();
+            }
+            i
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn bounded_matches_unbounded() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq = scope_map_bounded(items.clone(), 1, |x| x * 3);
+        let par = scope_map_bounded(items.clone(), 8, |x| x * 3);
+        let unb = scope_map(items, |x| x * 3);
+        assert_eq!(seq, par);
+        assert_eq!(par, unb);
+    }
+
+    #[test]
+    fn bounded_with_more_threads_than_items() {
+        let out = scope_map_bounded(vec![7u32, 8], 64, |x| x + 1);
+        assert_eq!(out, vec![8, 9]);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

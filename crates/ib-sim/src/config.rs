@@ -2,12 +2,12 @@
 //! sweeps.
 
 use ib_mgmt::enforcement::EnforcementKind;
-use serde::{Deserialize, Serialize};
+use ib_runtime::{Json, Seed, ToJson};
 
 use crate::time::{SimTime, MS, NS, US};
 
 /// Which P_Keys the attackers stamp on their flood.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackKeys {
     /// Random invalid P_Keys (the §3 attack SIF defeats).
     RandomInvalid,
@@ -22,8 +22,30 @@ pub enum AttackKeys {
     SmFlood,
 }
 
+impl AttackKeys {
+    const ALL: [AttackKeys; 3] = [
+        AttackKeys::RandomInvalid,
+        AttackKeys::Valid,
+        AttackKeys::SmFlood,
+    ];
+
+    /// Stable string form used in JSON configs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKeys::RandomInvalid => "random-invalid",
+            AttackKeys::Valid => "valid",
+            AttackKeys::SmFlood => "sm-flood",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(label: &str) -> Option<AttackKeys> {
+        Self::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
 /// How trap MADs travel from a detecting port to the Subnet Manager.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrapTransport {
     /// Fixed-latency side channel (`trap_latency`), the common simulator
     /// simplification.
@@ -34,8 +56,25 @@ pub enum TrapTransport {
     InBand,
 }
 
+impl TrapTransport {
+    const ALL: [TrapTransport; 2] = [TrapTransport::OutOfBand, TrapTransport::InBand];
+
+    /// Stable string form used in JSON configs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrapTransport::OutOfBand => "out-of-band",
+            TrapTransport::InBand => "in-band",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(label: &str) -> Option<TrapTransport> {
+        Self::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
 /// How attack activity is scheduled over the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackSchedule {
     /// Each `attack_epoch`, attackers are active with
     /// `attack_probability` (memoryless on/off).
@@ -47,8 +86,25 @@ pub enum AttackSchedule {
     DutyCycle,
 }
 
+impl AttackSchedule {
+    const ALL: [AttackSchedule; 2] = [AttackSchedule::Probabilistic, AttackSchedule::DutyCycle];
+
+    /// Stable string form used in JSON configs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackSchedule::Probabilistic => "probabilistic",
+            AttackSchedule::DutyCycle => "duty-cycle",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(label: &str) -> Option<AttackSchedule> {
+        Self::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
 /// How output-port arbitration weighs the data VLs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArbitrationPolicy {
     /// Realtime VL always wins (the isolation upper bound).
     StrictPriority,
@@ -57,8 +113,31 @@ pub enum ArbitrationPolicy {
     Weighted { high_limit: u32 },
 }
 
+impl ArbitrationPolicy {
+    /// JSON form: `"strict-priority"` or `{"weighted": high_limit}`.
+    pub fn to_json(self) -> Json {
+        match self {
+            ArbitrationPolicy::StrictPriority => Json::Str("strict-priority".into()),
+            ArbitrationPolicy::Weighted { high_limit } => {
+                Json::obj([("weighted", high_limit.to_json())])
+            }
+        }
+    }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(v: &Json) -> Option<ArbitrationPolicy> {
+        if v.as_str() == Some("strict-priority") {
+            return Some(ArbitrationPolicy::StrictPriority);
+        }
+        let high_limit = v.get("weighted")?.as_u64()?;
+        Some(ArbitrationPolicy::Weighted {
+            high_limit: u32::try_from(high_limit).ok()?,
+        })
+    }
+}
+
 /// Which authentication cost model the end nodes run (§6, Figure 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AuthMode {
     /// No authentication ("No Key").
     None,
@@ -71,7 +150,9 @@ pub enum AuthMode {
 }
 
 impl AuthMode {
-    /// Label for result tables.
+    const ALL: [AuthMode; 3] = [AuthMode::None, AuthMode::PartitionLevel, AuthMode::QpLevel];
+
+    /// Label for result tables (also the JSON form).
     pub fn label(self) -> &'static str {
         match self {
             AuthMode::None => "No Key",
@@ -79,10 +160,15 @@ impl AuthMode {
             AuthMode::QpLevel => "With Key (QP)",
         }
     }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(label: &str) -> Option<AuthMode> {
+        Self::ALL.into_iter().find(|k| k.label() == label)
+    }
 }
 
 /// Traffic generation parameters (§3.1 workloads).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrafficConfig {
     /// Realtime (CBR, higher-priority VL) offered load as a fraction of
     /// link bandwidth per node.
@@ -107,8 +193,31 @@ impl Default for TrafficConfig {
     }
 }
 
+impl TrafficConfig {
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("realtime_load", self.realtime_load.to_json()),
+            ("best_effort_load", self.best_effort_load.to_json()),
+            (
+                "realtime_backoff_queue",
+                self.realtime_backoff_queue.to_json(),
+            ),
+        ])
+    }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(v: &Json) -> Option<TrafficConfig> {
+        Some(TrafficConfig {
+            realtime_load: v.get("realtime_load")?.as_f64()?,
+            best_effort_load: v.get("best_effort_load")?.as_f64()?,
+            realtime_backoff_queue: v.get("realtime_backoff_queue")?.as_u64()? as usize,
+        })
+    }
+}
+
 /// Full simulation configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     // ---- Table 1 ----
     /// Physical link bandwidth in Gb/s.
@@ -178,8 +287,9 @@ pub struct SimConfig {
     pub duration: SimTime,
     /// Warm-up prefix excluded from statistics.
     pub warmup: SimTime,
-    /// RNG seed (simulations are deterministic given a seed).
-    pub seed: u64,
+    /// RNG seed (simulations are deterministic given a seed; printed in
+    /// every experiment binary's header).
+    pub seed: Seed,
 }
 
 impl Default for SimConfig {
@@ -213,7 +323,7 @@ impl Default for SimConfig {
             traffic: TrafficConfig::default(),
             duration: 10 * MS,
             warmup: MS,
-            seed: 0x1BAD_5EED,
+            seed: Seed(0x1BAD_5EED),
         }
     }
 }
@@ -229,6 +339,81 @@ impl SimConfig {
     pub fn interarrival_ps(&self, load: f64) -> f64 {
         let tx = crate::time::tx_time_ps(self.mtu_bytes, self.link_gbps) as f64;
         tx / load.max(1e-9)
+    }
+
+    /// Serialize every field to a JSON object (stored alongside results so
+    /// a report is reproducible from its own file).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("link_gbps", self.link_gbps.to_json()),
+            ("ports_per_switch", self.ports_per_switch.to_json()),
+            ("num_vls", self.num_vls.to_json()),
+            ("mtu_bytes", self.mtu_bytes.to_json()),
+            ("mesh_dim", self.mesh_dim.to_json()),
+            ("vl_buffer_packets", self.vl_buffer_packets.to_json()),
+            ("switch_latency", self.switch_latency.to_json()),
+            ("propagation_delay", self.propagation_delay.to_json()),
+            ("cycle_time", self.cycle_time.to_json()),
+            ("num_partitions", self.num_partitions.to_json()),
+            ("num_attackers", self.num_attackers.to_json()),
+            ("attack_keys", self.attack_keys.label().to_json()),
+            ("attack_schedule", self.attack_schedule.label().to_json()),
+            ("arbitration", self.arbitration.to_json()),
+            ("attack_probability", self.attack_probability.to_json()),
+            ("attack_epoch", self.attack_epoch.to_json()),
+            ("enforcement", self.enforcement.label().to_json()),
+            ("trap_latency", self.trap_latency.to_json()),
+            ("trap_transport", self.trap_transport.label().to_json()),
+            ("sm_node", self.sm_node.to_json()),
+            ("program_latency", self.program_latency.to_json()),
+            ("sif_idle_timeout", self.sif_idle_timeout.to_json()),
+            ("auth", self.auth.label().to_json()),
+            (
+                "auth_cycles_per_message",
+                self.auth_cycles_per_message.to_json(),
+            ),
+            ("key_exchange_rtt", self.key_exchange_rtt.to_json()),
+            ("traffic", self.traffic.to_json()),
+            ("duration", self.duration.to_json()),
+            ("warmup", self.warmup.to_json()),
+            ("seed", self.seed.0.to_json()),
+        ])
+    }
+
+    /// Inverse of [`to_json`](Self::to_json); `None` on any missing or
+    /// ill-typed field.
+    pub fn from_json(v: &Json) -> Option<SimConfig> {
+        Some(SimConfig {
+            link_gbps: v.get("link_gbps")?.as_f64()?,
+            ports_per_switch: v.get("ports_per_switch")?.as_u64()? as usize,
+            num_vls: v.get("num_vls")?.as_u64()? as usize,
+            mtu_bytes: v.get("mtu_bytes")?.as_u64()? as usize,
+            mesh_dim: v.get("mesh_dim")?.as_u64()? as usize,
+            vl_buffer_packets: u32::try_from(v.get("vl_buffer_packets")?.as_u64()?).ok()?,
+            switch_latency: v.get("switch_latency")?.as_u64()?,
+            propagation_delay: v.get("propagation_delay")?.as_u64()?,
+            cycle_time: v.get("cycle_time")?.as_u64()?,
+            num_partitions: v.get("num_partitions")?.as_u64()? as usize,
+            num_attackers: v.get("num_attackers")?.as_u64()? as usize,
+            attack_keys: AttackKeys::from_label(v.get("attack_keys")?.as_str()?)?,
+            attack_schedule: AttackSchedule::from_label(v.get("attack_schedule")?.as_str()?)?,
+            arbitration: ArbitrationPolicy::from_json(v.get("arbitration")?)?,
+            attack_probability: v.get("attack_probability")?.as_f64()?,
+            attack_epoch: v.get("attack_epoch")?.as_u64()?,
+            enforcement: EnforcementKind::from_label(v.get("enforcement")?.as_str()?)?,
+            trap_latency: v.get("trap_latency")?.as_u64()?,
+            trap_transport: TrapTransport::from_label(v.get("trap_transport")?.as_str()?)?,
+            sm_node: v.get("sm_node")?.as_u64()? as usize,
+            program_latency: v.get("program_latency")?.as_u64()?,
+            sif_idle_timeout: v.get("sif_idle_timeout")?.as_u64()?,
+            auth: AuthMode::from_label(v.get("auth")?.as_str()?)?,
+            auth_cycles_per_message: v.get("auth_cycles_per_message")?.as_u64()?,
+            key_exchange_rtt: v.get("key_exchange_rtt")?.as_u64()?,
+            traffic: TrafficConfig::from_json(v.get("traffic")?)?,
+            duration: v.get("duration")?.as_u64()?,
+            warmup: v.get("warmup")?.as_u64()?,
+            seed: Seed(v.get("seed")?.as_u64()?),
+        })
     }
 }
 
@@ -267,5 +452,82 @@ mod tests {
     fn default_seed_is_fixed() {
         // Reproducibility: two default configs must be identical.
         assert_eq!(SimConfig::default().seed, SimConfig::default().seed);
+    }
+
+    #[test]
+    fn enum_labels_round_trip() {
+        for k in AttackKeys::ALL {
+            assert_eq!(AttackKeys::from_label(k.label()), Some(k));
+        }
+        for t in TrapTransport::ALL {
+            assert_eq!(TrapTransport::from_label(t.label()), Some(t));
+        }
+        for s in AttackSchedule::ALL {
+            assert_eq!(AttackSchedule::from_label(s.label()), Some(s));
+        }
+        for a in AuthMode::ALL {
+            assert_eq!(AuthMode::from_label(a.label()), Some(a));
+        }
+        assert_eq!(AttackKeys::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn arbitration_json_round_trip() {
+        for p in [
+            ArbitrationPolicy::StrictPriority,
+            ArbitrationPolicy::Weighted { high_limit: 7 },
+        ] {
+            let text = p.to_json().to_string();
+            let back = ArbitrationPolicy::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    /// The satellite round-trip: serialize a non-default config to JSON
+    /// text, parse it back, and compare field-for-field — including a seed
+    /// above 2⁵³ that would corrupt under f64-only JSON numbers.
+    #[test]
+    fn sim_config_json_round_trip() {
+        let mut cfg = SimConfig {
+            num_attackers: 4,
+            attack_keys: AttackKeys::Valid,
+            attack_schedule: AttackSchedule::DutyCycle,
+            arbitration: ArbitrationPolicy::Weighted { high_limit: 10 },
+            enforcement: EnforcementKind::Sif,
+            trap_transport: TrapTransport::InBand,
+            auth: AuthMode::QpLevel,
+            seed: Seed(0xDEAD_BEEF_CAFE_F00D),
+            ..SimConfig::default()
+        };
+        cfg.traffic.realtime_load = 0.55;
+
+        let text = cfg.to_json().to_string();
+        let back = SimConfig::from_json(&Json::parse(&text).unwrap()).expect("parse back");
+
+        assert_eq!(back.num_attackers, cfg.num_attackers);
+        assert_eq!(back.attack_keys, cfg.attack_keys);
+        assert_eq!(back.attack_schedule, cfg.attack_schedule);
+        assert_eq!(back.arbitration, cfg.arbitration);
+        assert_eq!(back.enforcement, cfg.enforcement);
+        assert_eq!(back.trap_transport, cfg.trap_transport);
+        assert_eq!(back.auth, cfg.auth);
+        assert_eq!(back.traffic.realtime_load, cfg.traffic.realtime_load);
+        assert_eq!(
+            back.traffic.realtime_backoff_queue,
+            cfg.traffic.realtime_backoff_queue
+        );
+        assert_eq!(back.seed, cfg.seed);
+        assert_eq!(back.link_gbps, cfg.link_gbps);
+        assert_eq!(back.duration, cfg.duration);
+        assert_eq!(back.warmup, cfg.warmup);
+    }
+
+    #[test]
+    fn sim_config_from_json_rejects_missing_field() {
+        let mut cfg_json = SimConfig::default().to_json();
+        if let Json::Obj(pairs) = &mut cfg_json {
+            pairs.retain(|(k, _)| k != "seed");
+        }
+        assert!(SimConfig::from_json(&cfg_json).is_none());
     }
 }

@@ -27,10 +27,7 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use ib_runtime::{Json, Rng, ToJson};
 
 use ib_mgmt::enforcement::{
     DptEnforcer, EnforcementKind, FilterDecision, IfEnforcer, NoEnforcer, PartitionEnforcer,
@@ -93,7 +90,7 @@ struct HcaState {
 }
 
 /// Results of one simulation run.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimReport {
     pub realtime: ClassStats,
     pub best_effort: ClassStats,
@@ -140,6 +137,43 @@ impl SimReport {
         s.merge(&self.best_effort.queuing);
         s.stddev()
     }
+
+    /// JSON object form (for `BENCH_*.json`-style result files).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("realtime", self.realtime.to_json()),
+            ("best_effort", self.best_effort.to_json()),
+            ("attack", self.attack.to_json()),
+            ("mgmt_delivered", self.mgmt_delivered.to_json()),
+            ("filter_drops", self.filter_drops.to_json()),
+            ("hca_blocked", self.hca_blocked.to_json()),
+            ("traps", self.traps.to_json()),
+            ("backoff_skips", self.backoff_skips.to_json()),
+            ("generated", self.generated.to_json()),
+            ("lookup_cycles", self.lookup_cycles.to_json()),
+            (
+                "attack_active_fraction",
+                self.attack_active_fraction.to_json(),
+            ),
+        ])
+    }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(v: &Json) -> Option<SimReport> {
+        Some(SimReport {
+            realtime: ClassStats::from_json(v.get("realtime")?)?,
+            best_effort: ClassStats::from_json(v.get("best_effort")?)?,
+            attack: ClassStats::from_json(v.get("attack")?)?,
+            mgmt_delivered: v.get("mgmt_delivered")?.as_u64()?,
+            filter_drops: v.get("filter_drops")?.as_u64()?,
+            hca_blocked: v.get("hca_blocked")?.as_u64()?,
+            traps: v.get("traps")?.as_u64()?,
+            backoff_skips: v.get("backoff_skips")?.as_u64()?,
+            generated: v.get("generated")?.as_u64()?,
+            lookup_cycles: v.get("lookup_cycles")?.as_u64()?,
+            attack_active_fraction: v.get("attack_active_fraction")?.as_f64()?,
+        })
+    }
 }
 
 /// The simulator. Construct with [`Simulator::new`], run with
@@ -151,7 +185,7 @@ pub struct Simulator {
     switches: Vec<SwitchState>,
     hcas: Vec<HcaState>,
     sm: SubnetManager,
-    rng: SmallRng,
+    rng: Rng,
     now: SimTime,
     attack_active: bool,
     attack_active_since: SimTime,
@@ -176,11 +210,11 @@ impl Simulator {
     pub fn new(cfg: SimConfig) -> Self {
         let topo = MeshTopology::new(cfg.mesh_dim);
         let n = topo.num_switches();
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut rng = cfg.seed.rng();
 
         // ---- random partitioning into num_partitions groups ----
         let mut order: Vec<usize> = (0..n).collect();
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let per = n.div_ceil(cfg.num_partitions.max(1));
         let mut partitions: Vec<Vec<usize>> = Vec::new();
         let mut node_partition = vec![0usize; n];
@@ -193,7 +227,7 @@ impl Simulator {
         let pkey_of = |pid: usize| PKey(0x8000 | (pid as u16 + 1));
 
         // ---- subnet manager ----
-        let mut sm = SubnetManager::new(n, cfg.seed ^ 0x5151);
+        let mut sm = SubnetManager::new(n, (cfg.seed ^ 0x5151).0);
         for node in 0..n {
             sm.attach(topo.lid_of(node), node, PORT_HOST);
         }
@@ -208,7 +242,7 @@ impl Simulator {
 
         // ---- attackers: random distinct nodes ----
         let mut pool: Vec<usize> = (0..n).collect();
-        pool.shuffle(&mut rng);
+        rng.shuffle(&mut pool);
         let attackers: Vec<usize> = pool.into_iter().take(cfg.num_attackers).collect();
         // Each attacker floods with one invalid key — invalid means no
         // legitimate partition uses it (base outside 1..=num_partitions).
@@ -220,13 +254,13 @@ impl Simulator {
         // ---- switches ----
         let all_pkeys: Vec<PKey> = (0..partitions.len()).map(pkey_of).collect();
         let mut switches = Vec::with_capacity(n);
-        for s in 0..n {
+        for &host_partition in node_partition.iter().take(n) {
             let enforcement: Box<dyn PartitionEnforcer> = match cfg.enforcement {
                 EnforcementKind::NoFiltering => Box::new(NoEnforcer),
                 EnforcementKind::Dpt => Box::new(DptEnforcer::new(all_pkeys.iter().copied())),
                 EnforcementKind::If => {
                     let mut ports: Vec<Option<Vec<PKey>>> = vec![None; cfg.ports_per_switch];
-                    ports[PORT_HOST] = Some(vec![pkey_of(node_partition[s])]);
+                    ports[PORT_HOST] = Some(vec![pkey_of(host_partition)]);
                     Box::new(IfEnforcer::new(ports))
                 }
                 EnforcementKind::Sif => Box::new(SifEnforcer::new(
@@ -309,14 +343,24 @@ impl Simulator {
             if self.cfg.traffic.realtime_load > 0.0 {
                 let gap = self.cfg.interarrival_ps(self.cfg.traffic.realtime_load) as SimTime;
                 let jitter = self.rng.gen_range(0..gap.max(1));
-                self.queue
-                    .push(jitter, Event::Generate { node, class: TrafficClass::Realtime });
+                self.queue.push(
+                    jitter,
+                    Event::Generate {
+                        node,
+                        class: TrafficClass::Realtime,
+                    },
+                );
             }
             if self.cfg.traffic.best_effort_load > 0.0 {
                 let mean = self.cfg.interarrival_ps(self.cfg.traffic.best_effort_load);
                 let gap = exp_gap(&mut self.rng, mean);
-                self.queue
-                    .push(gap, Event::Generate { node, class: TrafficClass::BestEffort });
+                self.queue.push(
+                    gap,
+                    Event::Generate {
+                        node,
+                        class: TrafficClass::BestEffort,
+                    },
+                );
             }
         }
         if !self.attackers.is_empty() {
@@ -347,9 +391,11 @@ impl Simulator {
         match ev {
             Event::Generate { node, class } => self.on_generate(node, class),
             Event::TryInject { node } => self.on_try_inject(node),
-            Event::SwitchArrive { switch, port, packet } => {
-                self.on_switch_arrive(switch, port, packet)
-            }
+            Event::SwitchArrive {
+                switch,
+                port,
+                packet,
+            } => self.on_switch_arrive(switch, port, packet),
             Event::TryForward { switch, port } => self.on_try_forward(switch, port),
             Event::HcaReceive { node, packet } => self.on_hca_receive(node, packet),
             Event::SwitchCredit { switch, port, vl } => {
@@ -391,14 +437,13 @@ impl Simulator {
             TrafficClass::Realtime => {
                 let gap = self.cfg.interarrival_ps(self.cfg.traffic.realtime_load) as SimTime;
                 if self.now + gap <= self.cfg.duration {
-                    self.queue.push(self.now + gap, Event::Generate { node, class });
+                    self.queue
+                        .push(self.now + gap, Event::Generate { node, class });
                 }
                 // Back-off: a realtime source checks network headroom via
                 // its local queue depth before emitting.
                 let vl = class.vl() as usize;
-                if self.hcas[node].send_q[vl].len()
-                    >= self.cfg.traffic.realtime_backoff_queue
-                {
+                if self.hcas[node].send_q[vl].len() >= self.cfg.traffic.realtime_backoff_queue {
                     self.hcas[node].backoff_skips += 1;
                     return;
                 }
@@ -410,7 +455,8 @@ impl Simulator {
                 let mean = self.cfg.interarrival_ps(self.cfg.traffic.best_effort_load);
                 let gap = exp_gap(&mut self.rng, mean);
                 if self.now + gap <= self.cfg.duration {
-                    self.queue.push(self.now + gap, Event::Generate { node, class });
+                    self.queue
+                        .push(self.now + gap, Event::Generate { node, class });
                 }
                 if let Some(dst) = self.pick_partition_peer(node) {
                     self.emit(node, dst, class);
@@ -421,12 +467,12 @@ impl Simulator {
                     return; // epoch ended: the chain stops
                 }
                 // Full speed: next generation exactly one MTU time later.
-                self.queue.push(self.now + self.mtu_tx, Event::Generate { node, class });
+                self.queue
+                    .push(self.now + self.mtu_tx, Event::Generate { node, class });
                 // Bound the attacker's own backlog so an over-driven source
                 // doesn't consume unbounded memory (its queue depth is not a
                 // measured quantity).
-                let backlog: usize =
-                    self.hcas[node].send_q.iter().map(VecDeque::len).sum();
+                let backlog: usize = self.hcas[node].send_q.iter().map(VecDeque::len).sum();
                 if backlog >= 32 {
                     return;
                 }
@@ -437,8 +483,7 @@ impl Simulator {
                         if dst == node {
                             dst = (dst + 1) % n;
                         }
-                        let idx =
-                            self.attackers.iter().position(|a| *a == node).unwrap_or(0);
+                        let idx = self.attackers.iter().position(|a| *a == node).unwrap_or(0);
                         let pkey = self.attacker_pkey[idx];
                         self.emit_with_pkey(node, dst, class, pkey);
                     }
@@ -447,8 +492,7 @@ impl Simulator {
                     // "any ingress filtering is useless".
                     AttackKeys::Valid => {
                         if let Some(dst) = self.pick_partition_peer(node) {
-                            let pkey =
-                                PKey(0x8000 | (self.node_partition[node] as u16 + 1));
+                            let pkey = PKey(0x8000 | (self.node_partition[node] as u16 + 1));
                             self.emit_with_pkey(node, dst, class, pkey);
                         }
                     }
@@ -470,8 +514,7 @@ impl Simulator {
         // Peers exclude only self: victims don't know which partition
         // members are compromised, so attacker nodes still *receive*
         // legitimate traffic (they just don't send any, per §3.1).
-        let candidates: Vec<usize> =
-            members.iter().copied().filter(|m| *m != node).collect();
+        let candidates: Vec<usize> = members.iter().copied().filter(|m| *m != node).collect();
         if candidates.is_empty() {
             None
         } else {
@@ -573,7 +616,9 @@ impl Simulator {
         let mut chosen: Option<usize> = None;
         let mut earliest_block: Option<SimTime> = None;
         for vl in (0..self.cfg.num_vls).rev() {
-            let Some(&(_, ready)) = self.hcas[node].send_q[vl].front() else { continue };
+            let Some(&(_, ready)) = self.hcas[node].send_q[vl].front() else {
+                continue;
+            };
             if ready > self.now {
                 earliest_block = Some(earliest_block.map_or(ready, |e: SimTime| e.min(ready)));
                 continue;
@@ -600,7 +645,11 @@ impl Simulator {
         self.hcas[node].tx_busy_until = tx_end;
         self.queue.push(
             tx_end + self.cfg.propagation_delay,
-            Event::SwitchArrive { switch: node, port: PORT_HOST, packet },
+            Event::SwitchArrive {
+                switch: node,
+                port: PORT_HOST,
+                packet,
+            },
         );
         // Re-evaluate once the link frees.
         self.schedule_inject(node, tx_end);
@@ -646,7 +695,8 @@ impl Simulator {
     fn schedule_forward(&mut self, switch: usize, port: usize, at: SimTime) {
         if !self.switches[switch].forward_pending[port] {
             self.switches[switch].forward_pending[port] = true;
-            self.queue.push(at.max(self.now), Event::TryForward { switch, port });
+            self.queue
+                .push(at.max(self.now), Event::TryForward { switch, port });
         }
     }
 
@@ -706,7 +756,9 @@ impl Simulator {
                 }
             }
         };
-        let Some((in_port, vl)) = selected else { return };
+        let Some((in_port, vl)) = selected else {
+            return;
+        };
         if vl > 0 {
             self.switches[switch].high_grants[out_port] += 1;
         } else {
@@ -716,16 +768,23 @@ impl Simulator {
         let qp = self.switches[switch].in_q[in_port][vl].pop_front().unwrap();
         let packet = qp.packet;
         // Service time: enforcement lookups + store-and-forward transmit.
-        let service = qp.lookup_cycles * self.cfg.cycle_time
-            + tx_time_ps(packet.bytes, self.cfg.link_gbps);
+        let service =
+            qp.lookup_cycles * self.cfg.cycle_time + tx_time_ps(packet.bytes, self.cfg.link_gbps);
         let tx_end = self.now + service;
         self.switches[switch].out_busy_until[out_port] = tx_end;
         match peer {
-            Peer::Switch { switch: next, port: next_port } => {
+            Peer::Switch {
+                switch: next,
+                port: next_port,
+            } => {
                 self.switches[switch].out_credits[out_port][vl] -= 1;
                 self.queue.push(
                     tx_end + self.cfg.propagation_delay,
-                    Event::SwitchArrive { switch: next, port: next_port, packet },
+                    Event::SwitchArrive {
+                        switch: next,
+                        port: next_port,
+                        packet,
+                    },
                 );
             }
             Peer::Hca { node } => {
@@ -756,9 +815,17 @@ impl Simulator {
         let at = self.now + self.cfg.propagation_delay;
         match self.topo.peer(switch, in_port) {
             Peer::Hca { node } => self.queue.push(at, Event::HcaCredit { node, vl }),
-            Peer::Switch { switch: up, port: up_port } => {
-                self.queue.push(at, Event::SwitchCredit { switch: up, port: up_port, vl })
-            }
+            Peer::Switch {
+                switch: up,
+                port: up_port,
+            } => self.queue.push(
+                at,
+                Event::SwitchCredit {
+                    switch: up,
+                    port: up_port,
+                    vl,
+                },
+            ),
             Peer::None => {}
         }
     }
@@ -789,7 +856,9 @@ impl Simulator {
             let reporter = self.topo.lid_of(node);
             let violator = self.topo.lid_of(packet.src);
             if let Some(trap) =
-                self.hcas[node].throttle.offer(self.now, reporter, packet.pkey, violator)
+                self.hcas[node]
+                    .throttle
+                    .offer(self.now, reporter, packet.pkey, violator)
             {
                 match self.cfg.trap_transport {
                     crate::config::TrapTransport::OutOfBand => {
@@ -803,12 +872,7 @@ impl Simulator {
                         if sm == node {
                             self.handle(Event::TrapDeliver { trap });
                         } else {
-                            self.emit_management(
-                                node,
-                                sm,
-                                TrafficClass::Management,
-                                Some(trap),
-                            );
+                            self.emit_management(node, sm, TrafficClass::Management, Some(trap));
                         }
                     }
                 }
@@ -843,8 +907,8 @@ impl Simulator {
     /// The deterministic duty-cycle window: starts one warmup past warmup,
     /// lasts `attack_probability × duration`.
     fn duty_window(&self) -> (SimTime, SimTime) {
-        let len = (self.cfg.attack_probability.clamp(0.0, 1.0)
-            * self.cfg.duration as f64) as SimTime;
+        let len =
+            (self.cfg.attack_probability.clamp(0.0, 1.0) * self.cfg.duration as f64) as SimTime;
         let start = (self.cfg.warmup * 2).min(self.cfg.duration.saturating_sub(len));
         (start, start + len)
     }
@@ -856,8 +920,13 @@ impl Simulator {
                 self.attack_active_since = self.now;
                 let attackers = self.attackers.clone();
                 for a in attackers {
-                    self.queue
-                        .push(self.now, Event::Generate { node: a, class: TrafficClass::Attack });
+                    self.queue.push(
+                        self.now,
+                        Event::Generate {
+                            node: a,
+                            class: TrafficClass::Attack,
+                        },
+                    );
                 }
             }
             (true, false) => {
@@ -875,7 +944,9 @@ impl Simulator {
                     self.set_attack_active(false);
                     return;
                 }
-                let roll = self.rng.gen_bool(self.cfg.attack_probability.clamp(0.0, 1.0));
+                let roll = self
+                    .rng
+                    .gen_bool(self.cfg.attack_probability.clamp(0.0, 1.0));
                 self.set_attack_active(roll);
                 self.queue
                     .push(self.now + self.cfg.attack_epoch, Event::AttackEpoch);
@@ -916,7 +987,11 @@ mod tests {
     #[test]
     fn baseline_delivers_traffic() {
         let report = Simulator::new(quick_cfg()).run();
-        assert!(report.realtime.delivered > 100, "rt delivered {}", report.realtime.delivered);
+        assert!(
+            report.realtime.delivered > 100,
+            "rt delivered {}",
+            report.realtime.delivered
+        );
         assert!(report.best_effort.delivered > 100);
         assert_eq!(report.filter_drops, 0);
         assert_eq!(report.hca_blocked, 0);
@@ -968,8 +1043,7 @@ mod tests {
             .map(|s| loaded(0, s * 0xABCD).best_effort.queuing.mean())
             .sum::<f64>()
             / 2.0;
-        let attacked_reports: Vec<SimReport> =
-            (0..2).map(|s| loaded(4, s * 0xABCD)).collect();
+        let attacked_reports: Vec<SimReport> = (0..2).map(|s| loaded(4, s * 0xABCD)).collect();
         assert!(
             attacked_reports.iter().all(|r| r.hca_blocked > 0),
             "attack packets must reach victims"
@@ -990,7 +1064,10 @@ mod tests {
         cfg.enforcement = EnforcementKind::If;
         let report = Simulator::new(cfg).run();
         assert!(report.filter_drops > 0, "IF must drop attack packets");
-        assert_eq!(report.hca_blocked, 0, "nothing invalid reaches HCAs under IF");
+        assert_eq!(
+            report.hca_blocked, 0,
+            "nothing invalid reaches HCAs under IF"
+        );
     }
 
     #[test]
@@ -1164,5 +1241,28 @@ mod tests {
         assert_eq!(r.attack.delivered, 0);
         assert_eq!(r.attack.dropped, 0);
         assert_eq!(r.attack_active_fraction, 0.0);
+    }
+
+    /// The satellite round-trip: a real report survives JSON text and back
+    /// with its derived statistics intact.
+    #[test]
+    fn sim_report_json_round_trip() {
+        let mut cfg = quick_cfg();
+        cfg.num_attackers = 2;
+        cfg.attack_probability = 1.0;
+        let report = Simulator::new(cfg).run();
+        let text = report.to_json().to_string();
+        let back = SimReport::from_json(&Json::parse(&text).unwrap()).expect("parse back");
+        assert_eq!(back.generated, report.generated);
+        assert_eq!(back.hca_blocked, report.hca_blocked);
+        assert_eq!(back.traps, report.traps);
+        assert_eq!(back.realtime.delivered, report.realtime.delivered);
+        assert_eq!(
+            back.best_effort.queuing.count(),
+            report.best_effort.queuing.count()
+        );
+        assert!((back.legit_queuing_mean() - report.legit_queuing_mean()).abs() < 1e-12);
+        assert!((back.legit_queuing_stddev() - report.legit_queuing_stddev()).abs() < 1e-12);
+        assert_eq!(back.attack_active_fraction, report.attack_active_fraction);
     }
 }

@@ -46,7 +46,11 @@ pub enum Event {
     /// The HCA at `node` re-evaluates its injection opportunity.
     TryInject { node: usize },
     /// A packet finishes arriving at `switch` input `port`.
-    SwitchArrive { switch: usize, port: usize, packet: SimPacket },
+    SwitchArrive {
+        switch: usize,
+        port: usize,
+        packet: SimPacket,
+    },
     /// Output `port` of `switch` re-evaluates its arbitration.
     TryForward { switch: usize, port: usize },
     /// A packet finishes arriving at its destination HCA.
@@ -58,7 +62,11 @@ pub enum Event {
     /// A trap MAD reaches the SM.
     TrapDeliver { trap: Trap },
     /// The SM's filter programming lands on `switch`.
-    FilterProgram { switch: usize, port: usize, pkey: PKey },
+    FilterProgram {
+        switch: usize,
+        port: usize,
+        pkey: PKey,
+    },
     /// Toggle the attackers between active and idle epochs.
     AttackEpoch,
 }

@@ -2,12 +2,12 @@
 //! standard deviation of queuing time and network latency, per traffic
 //! class (Welford's algorithm, numerically stable, O(1) memory).
 
-use serde::Serialize;
+use ib_runtime::{Json, ToJson};
 
 use crate::time::{ps_to_us, SimTime};
 
 /// Streaming mean/variance accumulator.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -74,11 +74,32 @@ impl OnlineStats {
         self.count += other.count;
         self.max = self.max.max(other.max);
     }
+
+    /// JSON object form (raw accumulator state, so deserialized stats can
+    /// still be merged).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", self.count.to_json()),
+            ("mean", self.mean.to_json()),
+            ("m2", self.m2.to_json()),
+            ("max", self.max.to_json()),
+        ])
+    }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(v: &Json) -> Option<OnlineStats> {
+        Some(OnlineStats {
+            count: v.get("count")?.as_u64()?,
+            mean: v.get("mean")?.as_f64()?,
+            m2: v.get("m2")?.as_f64()?,
+            max: v.get("max")?.as_f64()?,
+        })
+    }
 }
 
 /// Queuing-time and network-latency stats for one traffic class, sampled
 /// in µs (the paper's unit).
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ClassStats {
     /// Wait at the source HCA from generation to first byte on the wire.
     pub queuing: OnlineStats,
@@ -96,6 +117,26 @@ impl ClassStats {
         self.queuing.push(ps_to_us(queuing_ps));
         self.network.push(ps_to_us(network_ps));
         self.delivered += 1;
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("queuing", self.queuing.to_json()),
+            ("network", self.network.to_json()),
+            ("delivered", self.delivered.to_json()),
+            ("dropped", self.dropped.to_json()),
+        ])
+    }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(v: &Json) -> Option<ClassStats> {
+        Some(ClassStats {
+            queuing: OnlineStats::from_json(v.get("queuing")?)?,
+            network: OnlineStats::from_json(v.get("network")?)?,
+            delivered: v.get("delivered")?.as_u64()?,
+            dropped: v.get("dropped")?.as_u64()?,
+        })
     }
 }
 
@@ -133,7 +174,9 @@ mod tests {
 
     #[test]
     fn merge_matches_sequential() {
-        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0)
+            .collect();
         let mut whole = OnlineStats::new();
         for &x in &data {
             whole.push(x);
@@ -163,6 +206,25 @@ mod tests {
         c.merge(&a);
         assert_eq!(c.count(), 1);
         assert_eq!(c.mean(), 1.0);
+    }
+
+    #[test]
+    fn stats_json_round_trip() {
+        let mut cs = ClassStats::default();
+        cs.record(5_000_000, 20_000_000);
+        cs.record(7_000_000, 22_000_000);
+        cs.dropped = 3;
+        let text = cs.to_json().to_string();
+        let back = ClassStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.delivered, 2);
+        assert_eq!(back.dropped, 3);
+        assert_eq!(back.queuing.count(), cs.queuing.count());
+        assert_eq!(back.queuing.mean(), cs.queuing.mean());
+        assert_eq!(back.network.stddev(), cs.network.stddev());
+        // Deserialized stats still merge (raw m2 survives the trip).
+        let mut merged = back.clone();
+        merged.queuing.merge(&cs.queuing);
+        assert_eq!(merged.queuing.count(), 4);
     }
 
     #[test]

@@ -74,18 +74,22 @@ impl MeshTopology {
         let (x, y) = self.coords(switch);
         match port {
             PORT_HOST => Peer::Hca { node: switch },
-            PORT_EAST if x + 1 < self.dim => {
-                Peer::Switch { switch: self.switch_at(x + 1, y), port: PORT_WEST }
-            }
-            PORT_WEST if x > 0 => {
-                Peer::Switch { switch: self.switch_at(x - 1, y), port: PORT_EAST }
-            }
-            PORT_NORTH if y + 1 < self.dim => {
-                Peer::Switch { switch: self.switch_at(x, y + 1), port: PORT_SOUTH }
-            }
-            PORT_SOUTH if y > 0 => {
-                Peer::Switch { switch: self.switch_at(x, y - 1), port: PORT_NORTH }
-            }
+            PORT_EAST if x + 1 < self.dim => Peer::Switch {
+                switch: self.switch_at(x + 1, y),
+                port: PORT_WEST,
+            },
+            PORT_WEST if x > 0 => Peer::Switch {
+                switch: self.switch_at(x - 1, y),
+                port: PORT_EAST,
+            },
+            PORT_NORTH if y + 1 < self.dim => Peer::Switch {
+                switch: self.switch_at(x, y + 1),
+                port: PORT_SOUTH,
+            },
+            PORT_SOUTH if y > 0 => Peer::Switch {
+                switch: self.switch_at(x, y - 1),
+                port: PORT_NORTH,
+            },
             _ => Peer::None,
         }
     }
@@ -181,7 +185,11 @@ mod tests {
                     assert!(hops <= 6, "route too long {src}->{dst}");
                 }
                 assert_eq!(s, dst, "route {src}->{dst} ended at {s}");
-                assert_eq!(hops + 1, t.hops(src, dst), "hop count mismatch {src}->{dst}");
+                assert_eq!(
+                    hops + 1,
+                    t.hops(src, dst),
+                    "hop count mismatch {src}->{dst}"
+                );
             }
         }
     }

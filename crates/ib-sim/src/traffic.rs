@@ -1,11 +1,9 @@
 //! Traffic classes and generators (§3.1).
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-use serde::Serialize;
+use ib_runtime::rng::Rng;
 
 /// The kinds of traffic in the experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrafficClass {
     /// Continuous rate-limited stream on the high-priority VL.
     Realtime,
@@ -53,16 +51,14 @@ impl TrafficClass {
 /// Sample an exponential inter-arrival gap with the given mean (ps), for
 /// Poisson best-effort arrivals. Clamped away from zero so events always
 /// advance time.
-pub fn exp_gap(rng: &mut SmallRng, mean_ps: f64) -> u64 {
-    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let gap = -mean_ps * u.ln();
-    gap.max(1.0) as u64
+pub fn exp_gap(rng: &mut Rng, mean_ps: f64) -> u64 {
+    rng.exponential(mean_ps).max(1.0) as u64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use ib_runtime::rng::Seed;
 
     #[test]
     fn vls_and_priorities() {
@@ -74,7 +70,7 @@ mod tests {
 
     #[test]
     fn exp_gap_mean_close() {
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Seed(7).rng();
         let mean = 10_000.0;
         let n = 50_000;
         let total: u64 = (0..n).map(|_| exp_gap(&mut rng, mean)).sum();
@@ -87,7 +83,7 @@ mod tests {
 
     #[test]
     fn exp_gap_always_positive() {
-        let mut rng = SmallRng::seed_from_u64(8);
+        let mut rng = Seed(8).rng();
         for _ in 0..1000 {
             assert!(exp_gap(&mut rng, 5.0) >= 1);
         }

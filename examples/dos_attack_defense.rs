@@ -65,8 +65,14 @@ fn main() {
     let b = base.be_queuing_us;
     let a = attacked.be_queuing_us;
     let d = defended.be_queuing_us;
-    println!("best-effort queuing: {b:.1} us -> {a:.1} us under attack (x{:.1})", a / b.max(1e-9));
-    println!("with SIF:            back to {d:.1} us (x{:.1} of baseline)", d / b.max(1e-9));
+    println!(
+        "best-effort queuing: {b:.1} us -> {a:.1} us under attack (x{:.1})",
+        a / b.max(1e-9)
+    );
+    println!(
+        "with SIF:            back to {d:.1} us (x{:.1} of baseline)",
+        d / b.max(1e-9)
+    );
     assert!(a > b * 1.3, "attack must hurt: {a} vs {b}");
     assert!(d < a, "SIF must help: {d} vs {a}");
     assert!(defended.traps > 0 && defended.filter_drops > 0);

@@ -22,7 +22,10 @@ fn banner(class: KeyClass) {
 }
 
 fn main() {
-    println!("IBA key-exposure matrix ({} rows, paper Table 3)\n", VULNERABILITIES.len());
+    println!(
+        "IBA key-exposure matrix ({} rows, paper Table 3)\n",
+        VULNERABILITIES.len()
+    );
 
     let p1 = PKey(0x8001);
 
@@ -32,13 +35,17 @@ fn main() {
     fabric.create_partition(p1, &[0, 1]);
     // Stock IBA: plaintext P_Key captured; outsider (node 3) injects and
     // the receiver's only check is the P_Key table — which matches.
-    let wire = fabric.send_unauthenticated(3, 1, p1, QKey(1), b"P_Key forgery").unwrap();
+    let wire = fabric
+        .send_unauthenticated(3, 1, p1, QKey(1), b"P_Key forgery")
+        .unwrap();
     let stock = fabric.deliver(1, &wire);
     println!("   stock IBA: forged injection with captured P_Key -> {stock:?}");
     assert!(stock.is_ok(), "stock IBA accepts: that's the vulnerability");
     // With MAC required: same forgery dies.
     fabric.require_auth_for_partition(p1);
-    let wire = fabric.send_unauthenticated(3, 1, p1, QKey(1), b"P_Key forgery").unwrap();
+    let wire = fabric
+        .send_unauthenticated(3, 1, p1, QKey(1), b"P_Key forgery")
+        .unwrap();
     let secured = fabric.deliver(1, &wire);
     println!("   with ICRC-as-MAC:                            -> {secured:?}");
     assert_eq!(secured, Err(FabricError::PolicyViolation));
@@ -50,9 +57,9 @@ fn main() {
     let mut fabric = SecureFabric::new(4, AuthAlgorithm::Umac32, KeyScope::QpLevel, 12);
     fabric.create_partition(p1, &[0, 1, 2]);
     let qkey = fabric.request_qkey(0, 1); // node 0 legitimately keyed to node 1
-    // Node 2 is *inside* the partition and has captured both P_Key and the
-    // Q_Key off the wire — the Table 3 precondition. It still has no
-    // per-QP secret, so it cannot tag:
+                                          // Node 2 is *inside* the partition and has captured both P_Key and the
+                                          // Q_Key off the wire — the Table 3 precondition. It still has no
+                                          // per-QP secret, so it cannot tag:
     let forged = fabric.send_datagram(2, 1, p1, qkey, b"Q_Key forgery");
     println!("   insider with captured P_Key+Q_Key, QP-level keys -> {forged:?}");
     assert!(forged.is_err());
@@ -77,5 +84,8 @@ fn main() {
     println!("   captured R_Key cannot produce a verifying RDMA write.");
     println!();
 
-    println!("All {} Table 3 rows are closed by per-packet MACs (paper A.5).", VULNERABILITIES.len());
+    println!(
+        "All {} Table 3 rows are closed by per-packet MACs (paper A.5).",
+        VULNERABILITIES.len()
+    );
 }

@@ -24,7 +24,10 @@ fn main() {
     // under the member's public key.
     let pkey = PKey(0x8001);
     fabric.create_partition(pkey, &[0, 1, 2]);
-    println!("partition {pkey} created; node 0 holds {} secret(s)", fabric.key_count(0));
+    println!(
+        "partition {pkey} created; node 0 holds {} secret(s)",
+        fabric.key_count(0)
+    );
 
     // On-demand authentication (§5.1): require tags for this partition.
     fabric.require_auth_for_partition(pkey);
@@ -56,7 +59,9 @@ fn main() {
     assert!(refused.is_err());
 
     // Replays of genuine packets are caught by the PSN window (§7).
-    let wire = fabric.send_datagram(0, 1, pkey, QKey(0x11), b"pay me once").unwrap();
+    let wire = fabric
+        .send_datagram(0, 1, pkey, QKey(0x11), b"pay me once")
+        .unwrap();
     fabric.deliver(1, &wire).unwrap();
     let replayed = fabric.deliver(1, &wire);
     println!("replaying a captured valid packet: {replayed:?}");

@@ -60,7 +60,11 @@ fn rdma_write(psn: u32, rkey: RKey, addr: u64, dest_qp: Qpn, payload: &[u8]) -> 
 fn main() {
     // Target node registers 64 bytes of memory at 0x10000 under an R_Key.
     let rkey = RKey(0xCAFE_F00D);
-    let mut region = MemoryRegion { rkey, base: 0x10000, data: vec![0u8; 64] };
+    let mut region = MemoryRegion {
+        rkey,
+        base: 0x10000,
+        data: vec![0u8; 64],
+    };
     let dest_qp = Qpn(9);
 
     // ---- connection setup with QP-level key exchange (§4.3) ----
@@ -77,7 +81,9 @@ fn main() {
 
     // ---- legitimate RDMA write ----
     let mut pkt = rdma_write(1, rkey, 0x10010, dest_qp, b"RDMA payload");
-    initiator.tag_packet(&mut pkt).expect("keyed initiator tags");
+    initiator
+        .tag_packet(&mut pkt)
+        .expect("keyed initiator tags");
     let wire = pkt.to_bytes();
     println!("RDMA write-only packet: {} bytes on the wire", wire.len());
 
@@ -104,14 +110,20 @@ fn main() {
     use ib_security::ondemand::OnDemandPolicy;
     let mut policy = OnDemandPolicy::allow_all();
     policy.require_qp(dest_qp);
-    assert!(!policy.admits(&forged), "plain-ICRC packet rejected by policy");
+    assert!(
+        !policy.admits(&forged),
+        "plain-ICRC packet rejected by policy"
+    );
     println!("with ICRC-as-MAC + policy: selector-0 forgery -> rejected by OnDemandPolicy");
 
     // The forger's alternative is to claim authentication and guess the
     // 32-bit tag (success probability ~2^-30 per attempt):
     let mut guessed = rdma_write(3, rkey, 0x10000, dest_qp, b"OWNED!");
     guessed.set_auth_tag(1, 0xDEAD_BEEF); // a guess
-    assert!(policy.admits(&guessed), "claims authentication, so policy admits…");
+    assert!(
+        policy.admits(&guessed),
+        "claims authentication, so policy admits…"
+    );
     let verdict = target.verify_packet(&guessed);
     println!("…but tag verification -> {verdict:?}");
     assert!(verdict.is_err(), "guessed tag must not verify");

@@ -24,7 +24,10 @@ fn sm_key_distribution_to_verified_delivery() {
     sm.register_public_key(Lid(1), pk0);
     sm.register_public_key(Lid(2), pk1);
     let pkey = PKey(0x8001);
-    let (_, envelopes) = sm.create_partition(PartitionConfig { pkey, members: vec![0, 1] });
+    let (_, envelopes) = sm.create_partition(PartitionConfig {
+        pkey,
+        members: vec![0, 1],
+    });
     assert_eq!(envelopes.len(), 2);
 
     let mut alice = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::Partition);
@@ -116,13 +119,17 @@ fn tags_survive_switch_hops_break_under_tamper_all_algorithms() {
         pkt.rewrite_vl(ib_packet::VirtualLane(3));
         pkt.rewrite_vl(ib_packet::VirtualLane(9));
         let hop = Packet::parse(&pkt.to_bytes()).unwrap();
-        auth.verify_packet(&hop).unwrap_or_else(|e| panic!("{alg:?} after VL rewrite: {e}"));
+        auth.verify_packet(&hop)
+            .unwrap_or_else(|e| panic!("{alg:?} after VL rewrite: {e}"));
 
         // Tampers an attacker would try: each must break verification.
         let mut payload_tamper = hop.clone();
         payload_tamper.payload[50] ^= 0x01;
         payload_tamper.vcrc = payload_tamper.compute_vcrc();
-        assert!(auth.verify_packet(&payload_tamper).is_err(), "{alg:?} payload");
+        assert!(
+            auth.verify_packet(&payload_tamper).is_err(),
+            "{alg:?} payload"
+        );
 
         let mut qkey_tamper = hop.clone();
         qkey_tamper.deth.as_mut().unwrap().qkey = QKey(0xFFFF);
@@ -132,7 +139,10 @@ fn tags_survive_switch_hops_break_under_tamper_all_algorithms() {
         let mut psn_tamper = hop.clone();
         psn_tamper.bth.psn = Psn(2);
         psn_tamper.vcrc = psn_tamper.compute_vcrc();
-        assert!(auth.verify_packet(&psn_tamper).is_err(), "{alg:?} PSN/nonce");
+        assert!(
+            auth.verify_packet(&psn_tamper).is_err(),
+            "{alg:?} PSN/nonce"
+        );
     }
 }
 
@@ -146,13 +156,17 @@ fn mixed_legacy_and_upgraded_nodes() {
     fabric.create_partition(pkey, &[0, 1, 2]);
 
     // Legacy sender (plain ICRC) to an upgraded receiver with no policy:
-    let wire = fabric.send_unauthenticated(0, 1, pkey, QKey(1), b"legacy").unwrap();
+    let wire = fabric
+        .send_unauthenticated(0, 1, pkey, QKey(1), b"legacy")
+        .unwrap();
     assert!(fabric.deliver(1, &wire).is_ok());
 
     // Upgraded sender to a "legacy" receiver: the packet parses fine at
     // the link layer and its ICRC field simply fails a plain CRC check —
     // exactly the paper's graceful-degradation story.
-    let wire = fabric.send_datagram(0, 1, pkey, QKey(1), b"tagged").unwrap();
+    let wire = fabric
+        .send_datagram(0, 1, pkey, QKey(1), b"tagged")
+        .unwrap();
     let parsed = Packet::parse(&wire).unwrap();
     assert!(parsed.vcrc_ok());
     assert!(!parsed.icrc_ok(), "tag is not a CRC");
@@ -160,7 +174,9 @@ fn mixed_legacy_and_upgraded_nodes() {
 
     // Once policy requires tags, the legacy path closes.
     fabric.require_auth_for_partition(pkey);
-    let wire = fabric.send_unauthenticated(0, 1, pkey, QKey(1), b"legacy").unwrap();
+    let wire = fabric
+        .send_unauthenticated(0, 1, pkey, QKey(1), b"legacy")
+        .unwrap();
     assert_eq!(fabric.deliver(1, &wire), Err(FabricError::PolicyViolation));
 }
 
@@ -191,5 +207,8 @@ fn authenticator_matches_direct_mac_composition() {
 
     // And AnyMac's dispatch agrees too.
     let any = ib_crypto::mac::AnyMac::new(AuthAlgorithm::Umac32, &secret.0);
-    assert_eq!(any.tag32(Authenticator::nonce(&pkt), &pkt.icrc_message()), direct);
+    assert_eq!(
+        any.tag32(Authenticator::nonce(&pkt), &pkt.icrc_message()),
+        direct
+    );
 }

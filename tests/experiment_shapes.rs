@@ -39,8 +39,10 @@ fn fig1_attack_reaches_victims_and_hurts() {
 /// while network latency grows far less.
 #[test]
 fn fig1_queuing_explodes_latency_does_not() {
-    let base = run_seed_averaged(&quick(fig1_config(0)), 2);
-    let worst = run_seed_averaged(&quick(fig1_config(4)), 2);
+    // The fig1 operating point sits at the fabric's knee; short runs need
+    // extra seeds before the attack signal clears placement variance.
+    let base = run_seed_averaged(&quick(fig1_config(0)), 6);
+    let worst = run_seed_averaged(&quick(fig1_config(4)), 6);
     assert!(
         worst.be_queuing_us > base.be_queuing_us * 2.0,
         "4 attackers: {} -> {}",
@@ -49,7 +51,10 @@ fn fig1_queuing_explodes_latency_does_not() {
     );
     let q_growth = worst.be_queuing_us / base.be_queuing_us.max(1e-9);
     let n_growth = worst.be_network_us / base.be_network_us.max(1e-9);
-    assert!(q_growth > n_growth, "queuing x{q_growth:.1} vs latency x{n_growth:.1}");
+    assert!(
+        q_growth > n_growth,
+        "queuing x{q_growth:.1} vs latency x{n_growth:.1}"
+    );
 }
 
 /// Figure 1(a) vs (b): realtime's VL priority shields it relative to
@@ -118,7 +123,12 @@ fn fig5_sif_lookup_economy() {
         .iter()
         .map(|r| r.lookup_cycles as f64 / r.generated.max(1) as f64)
         .collect();
-    assert!(per_packet[0] > per_packet[1], "DPT {} > IF {}", per_packet[0], per_packet[1]);
+    assert!(
+        per_packet[0] > per_packet[1],
+        "DPT {} > IF {}",
+        per_packet[0],
+        per_packet[1]
+    );
     assert!(
         per_packet[2] < per_packet[1] * 0.5,
         "SIF {} must be well below IF {}",
@@ -162,8 +172,14 @@ fn fig6_auth_overhead_marginal() {
 /// different batches yields identical statistics.
 #[test]
 fn sweeps_are_reproducible() {
-    let a = run_many(vec![quick(fig1_config(2)), quick(fig5_config(0.4, EnforcementKind::Sif))]);
-    let b = run_many(vec![quick(fig5_config(0.4, EnforcementKind::Sif)), quick(fig1_config(2))]);
+    let a = run_many(vec![
+        quick(fig1_config(2)),
+        quick(fig5_config(0.4, EnforcementKind::Sif)),
+    ]);
+    let b = run_many(vec![
+        quick(fig5_config(0.4, EnforcementKind::Sif)),
+        quick(fig1_config(2)),
+    ]);
     assert_eq!(a[0].generated, b[1].generated);
     assert_eq!(a[1].generated, b[0].generated);
     assert_eq!(a[0].hca_blocked, b[1].hca_blocked);
