@@ -16,4 +16,14 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== fig_replay smoke (twice: results must be byte-identical) =="
+cargo run -q --release --offline -p bench --bin fig_replay -- --smoke
+mv BENCH_fig_replay.json BENCH_fig_replay.first.json
+cargo run -q --release --offline -p bench --bin fig_replay -- --smoke
+diff BENCH_fig_replay.first.json BENCH_fig_replay.json
+rm BENCH_fig_replay.first.json
+
+echo "== jsonck: emitted results parse back through ib_runtime::json =="
+cargo run -q --release --offline -p bench --bin jsonck -- BENCH_*.json
+
 echo "CI OK"

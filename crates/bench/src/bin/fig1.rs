@@ -8,8 +8,9 @@
 //!
 //! Usage: `fig1 [--quick] [--max-attackers N] [--seeds K] [--seed S]`
 
-use bench::{arg_value, render_table, seed_arg};
-use ib_security::experiments::{fig1_config, run_seed_averaged, Fig1Row, DEFAULT_SEEDS};
+use bench::{arg_value, bench_doc, render_table, seed_arg, write_bench_json};
+use ib_runtime::{Json, ToJson};
+use ib_security::experiments::{fig1_config, run_grid_seed_averaged, Fig1Row, DEFAULT_SEEDS};
 use ib_sim::time::{MS, US};
 
 fn main() {
@@ -25,7 +26,9 @@ fn main() {
         .unwrap_or(if quick { 6 } else { DEFAULT_SEEDS + 4 });
     let seed = seed_arg(&args);
 
-    let rows: Vec<Fig1Row> = (0..=max)
+    // Build the whole grid up front, then let the flattened (point × seed)
+    // runner shard the work across cores in one parallel scope.
+    let bases: Vec<_> = (0..=max)
         .map(|attackers| {
             let mut cfg = fig1_config(attackers);
             cfg.seed = seed;
@@ -33,14 +36,18 @@ fn main() {
                 cfg.duration = 3 * MS;
                 cfg.warmup = 300 * US;
             }
-            let p = run_seed_averaged(&cfg, seeds);
-            Fig1Row {
-                attackers,
-                rt_queuing_us: p.rt_queuing_us,
-                rt_network_us: p.rt_network_us,
-                be_queuing_us: p.be_queuing_us,
-                be_network_us: p.be_network_us,
-            }
+            cfg
+        })
+        .collect();
+    let rows: Vec<Fig1Row> = run_grid_seed_averaged(&bases, seeds)
+        .into_iter()
+        .enumerate()
+        .map(|(attackers, p)| Fig1Row {
+            attackers,
+            rt_queuing_us: p.rt_queuing_us,
+            rt_network_us: p.rt_network_us,
+            be_queuing_us: p.be_queuing_us,
+            be_network_us: p.be_network_us,
         })
         .collect();
 
@@ -108,4 +115,17 @@ fn main() {
         worst.rt_network_us
     );
     println!("OK: Figure 1 shape holds (queuing explodes, latency ~flat, BE > RT).");
+
+    let doc = bench_doc(
+        "fig1",
+        seed,
+        Json::obj([
+            ("max_attackers", (max as u64).to_json()),
+            ("seeds_per_point", seeds.to_json()),
+            ("quick", quick.to_json()),
+        ]),
+        rows.iter().map(Fig1Row::to_json).collect(),
+    );
+    let path = write_bench_json("fig1", &doc).expect("write BENCH_fig1.json");
+    println!("wrote {}", path.display());
 }

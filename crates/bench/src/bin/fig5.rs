@@ -10,9 +10,10 @@
 //! (P defaults to the paper's 0.01; sweep it for the DESIGN.md ablation;
 //! `--smoke` is an alias for `--quick`).
 
-use bench::{arg_value, render_table, seed_arg};
+use bench::{arg_value, bench_doc, render_table, seed_arg, write_bench_json};
+use ib_runtime::{Json, ToJson};
 use ib_security::experiments::{
-    fig5_config, run_seed_averaged, Fig5Row, DEFAULT_SEEDS, FIG5_KINDS, FIG5_LOADS,
+    fig5_config, run_grid_seed_averaged, Fig5Row, DEFAULT_SEEDS, FIG5_KINDS, FIG5_LOADS,
 };
 use ib_sim::time::{MS, US};
 
@@ -27,7 +28,10 @@ fn main() {
         .unwrap_or(if quick { 2 } else { DEFAULT_SEEDS });
     let seed = seed_arg(&args);
 
-    let mut rows: Vec<Fig5Row> = Vec::new();
+    // Flatten the (load × method) grid and hand it to the sharded runner
+    // in a single call; `cells` remembers which base produced which point.
+    let mut bases = Vec::new();
+    let mut cells = Vec::new();
     for &load in &FIG5_LOADS {
         for &kind in &FIG5_KINDS {
             let mut cfg = fig5_config(load, kind);
@@ -37,18 +41,23 @@ fn main() {
                 cfg.duration = 4 * MS;
                 cfg.warmup = 400 * US;
             }
-            let p = run_seed_averaged(&cfg, seeds);
-            rows.push(Fig5Row {
-                input_load: load,
-                enforcement: kind,
-                network_us: p.legit_network_us,
-                queuing_us: p.legit_queuing_us,
-                stddev_us: p.legit_queuing_stddev_us,
-                filter_drops: p.filter_drops,
-                hca_blocked: p.hca_blocked,
-            });
+            bases.push(cfg);
+            cells.push((load, kind));
         }
     }
+    let rows: Vec<Fig5Row> = run_grid_seed_averaged(&bases, seeds)
+        .into_iter()
+        .zip(cells)
+        .map(|(p, (load, kind))| Fig5Row {
+            input_load: load,
+            enforcement: kind,
+            network_us: p.legit_network_us,
+            queuing_us: p.legit_queuing_us,
+            stddev_us: p.legit_queuing_stddev_us,
+            filter_drops: p.filter_drops,
+            hca_blocked: p.hca_blocked,
+        })
+        .collect();
 
     println!(
         "Figure 5. Delay comparison: No Filtering / DPT / IF / SIF \
@@ -117,4 +126,17 @@ fn main() {
         );
     }
     println!("OK: Figure 5 ordering holds (filtering <= no filtering; IF <= DPT; SIF ~ IF).");
+
+    let doc = bench_doc(
+        "fig5",
+        seed,
+        Json::obj([
+            ("attack_probability", attack_prob.to_json()),
+            ("seeds_per_point", seeds.to_json()),
+            ("quick", quick.to_json()),
+        ]),
+        rows.iter().map(Fig5Row::to_json).collect(),
+    );
+    let path = write_bench_json("fig5", &doc).expect("write BENCH_fig5.json");
+    println!("wrote {}", path.display());
 }

@@ -8,9 +8,10 @@
 //! Usage: `fig6 [--quick] [--all-modes] [--seeds K] [--seed S]`
 //! (`--all-modes` adds the partition-level ablation row).
 
-use bench::{arg_value, render_table, seed_arg};
+use bench::{arg_value, bench_doc, render_table, seed_arg, write_bench_json};
+use ib_runtime::{Json, ToJson};
 use ib_security::experiments::{
-    fig6_config, run_seed_averaged, Fig6Row, DEFAULT_SEEDS, FIG5_LOADS,
+    fig6_config, run_grid_seed_averaged, Fig6Row, DEFAULT_SEEDS, FIG5_LOADS,
 };
 use ib_sim::config::AuthMode;
 use ib_sim::time::{MS, US};
@@ -28,7 +29,9 @@ fn main() {
         .unwrap_or(if quick { 2 } else { DEFAULT_SEEDS });
     let seed = seed_arg(&args);
 
-    let mut rows: Vec<Fig6Row> = Vec::new();
+    // One flattened (load × mode × seed) work list for the sharded runner.
+    let mut bases = Vec::new();
+    let mut cells = Vec::new();
     for &load in &FIG5_LOADS {
         for &mode in modes {
             let mut cfg = fig6_config(load, mode);
@@ -37,16 +40,21 @@ fn main() {
                 cfg.duration = 4 * MS;
                 cfg.warmup = 400 * US;
             }
-            let p = run_seed_averaged(&cfg, seeds);
-            rows.push(Fig6Row {
-                input_load: load,
-                mode,
-                queuing_us: p.legit_queuing_us,
-                network_us: p.legit_network_us,
-                queuing_stddev_us: p.legit_queuing_stddev_us,
-            });
+            bases.push(cfg);
+            cells.push((load, mode));
         }
     }
+    let rows: Vec<Fig6Row> = run_grid_seed_averaged(&bases, seeds)
+        .into_iter()
+        .zip(cells)
+        .map(|(p, (load, mode))| Fig6Row {
+            input_load: load,
+            mode,
+            queuing_us: p.legit_queuing_us,
+            network_us: p.legit_network_us,
+            queuing_stddev_us: p.legit_queuing_stddev_us,
+        })
+        .collect();
 
     println!("Figure 6. Message authentication overhead with key initialization (seed {seed})");
     let table: Vec<Vec<String>> = rows
@@ -100,4 +108,17 @@ fn main() {
         );
     }
     println!("OK: Figure 6 shape holds (With Key ~ No Key at every load).");
+
+    let doc = bench_doc(
+        "fig6",
+        seed,
+        Json::obj([
+            ("all_modes", (modes.len() > 2).to_json()),
+            ("seeds_per_point", seeds.to_json()),
+            ("quick", quick.to_json()),
+        ]),
+        rows.iter().map(Fig6Row::to_json).collect(),
+    );
+    let path = write_bench_json("fig6", &doc).expect("write BENCH_fig6.json");
+    println!("wrote {}", path.display());
 }

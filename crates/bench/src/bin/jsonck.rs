@@ -1,0 +1,53 @@
+//! CI gate: every `BENCH_*.json` the experiment binaries emit must parse
+//! back through `ib_runtime::Json` and carry the standard document shape
+//! (experiment / seed / config / points). Exits non-zero on the first
+//! file that doesn't.
+//!
+//! Usage: `jsonck BENCH_fig1.json [BENCH_fig_replay.json ...]`
+
+use ib_runtime::Json;
+
+fn check(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse failed: {e:?}"))?;
+    let experiment = doc
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `experiment`")?;
+    doc.get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("missing u64 field `seed`")?;
+    doc.get("config").ok_or("missing field `config`")?;
+    let points = doc
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field `points`")?;
+    if points.is_empty() {
+        return Err(format!("{experiment}: `points` is empty"));
+    }
+    // The writer and parser must agree exactly: re-serializing the parsed
+    // document reproduces the file (modulo the trailing newline).
+    if doc.to_string() != text.trim_end() {
+        return Err("round-trip mismatch: parse(text).to_string() != text".into());
+    }
+    Ok(points.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: jsonck <BENCH_*.json> ...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        match check(path) {
+            Ok(points) => println!("OK {path}: {points} points"),
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

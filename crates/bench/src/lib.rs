@@ -1,7 +1,8 @@
 //! Shared helpers for the experiment binaries: throughput measurement,
-//! plain-text table rendering, and seed plumbing.
+//! plain-text table rendering, seed plumbing, and machine-readable
+//! result emission (`BENCH_*.json`).
 
-use ib_runtime::Seed;
+use ib_runtime::{Json, Seed, ToJson};
 use std::time::Instant;
 
 /// Measure the steady-state throughput of `f` over `message_len`-byte
@@ -79,6 +80,27 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Assemble the standard experiment result document: experiment name,
+/// the seed it reproduces from, the configuration, and the per-point
+/// rows — everything a plotting script (or a re-run) needs.
+pub fn bench_doc(experiment: &str, seed: Seed, config: Json, points: Vec<Json>) -> Json {
+    Json::obj([
+        ("experiment", experiment.to_json()),
+        ("seed", seed.0.to_json()),
+        ("config", config),
+        ("points", Json::arr(points)),
+    ])
+}
+
+/// Write an experiment's result document to `BENCH_<name>.json` in the
+/// current directory (deterministic, insertion-ordered output — two
+/// same-seed runs produce byte-identical files). Returns the path.
+pub fn write_bench_json(name: &str, doc: &Json) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+    std::fs::write(&path, format!("{doc}\n"))?;
+    Ok(path)
+}
+
 /// Parse `--flag value` style arguments; returns the value following the
 /// flag, if present.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -148,6 +170,22 @@ mod tests {
             seed_arg(&to_args(&["prog"])),
             ib_sim::config::SimConfig::default().seed
         );
+    }
+
+    #[test]
+    fn bench_doc_round_trips() {
+        let doc = bench_doc(
+            "fig_test",
+            Seed(0xABCD),
+            Json::obj([("knob", 3u64.to_json())]),
+            vec![Json::obj([("x", 1u64.to_json())])],
+        );
+        let text = doc.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("experiment").unwrap().as_str(), Some("fig_test"));
+        assert_eq!(back.get("seed").unwrap().as_u64(), Some(0xABCD));
+        assert_eq!(back.get("points").unwrap().as_arr().unwrap().len(), 1);
+        assert_eq!(back, doc, "writer/parser agree");
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! A secure receive channel: authentication + replay defense in front of
+//! a *reliable* transport.
+//!
+//! ## The §7 subtlety, made explicit
+//!
+//! The paper's replay defense says "the replayed packets will be found
+//! illegal" — but a reliable transport *legitimately* re-sends packets.
+//! A retransmitted packet carries its **original PSN** (IBA §9.7.5.1.1),
+//! so it is byte-identical — same nonce, same MAC tag — to an attacker's
+//! replay of a captured packet. No content check can tell them apart.
+//! What *can* tell them apart is delivery state:
+//!
+//! * retransmit of a **lost** packet → that PSN was never delivered →
+//!   the window says [`ReplayVerdict::Fresh`] → deliver it;
+//! * retransmit whose **ACK was lost** → the PSN *was* delivered → the
+//!   window says [`ReplayVerdict::Duplicate`] → don't deliver again, but
+//!   the transport may re-ACK (ACKs are cumulative and idempotent);
+//! * attacker replay of a delivered packet → indistinguishable from the
+//!   previous case, and handled identically: suppressed, harmless.
+//!
+//! The replay window therefore gates **application delivery**, not
+//! transport bookkeeping. The one obligation this places on the transport
+//! is window sizing: its in-flight window must not exceed the replay
+//! window ([`SecureChannel::window_depth`]), or a genuine retransmit could
+//! age out and be rejected as [`ReplayVerdict::Stale`].
+
+use std::fmt;
+
+use ib_crypto::mac::AuthAlgorithm;
+use ib_mgmt::keymgmt::SecretKey;
+use ib_packet::types::PKey;
+use ib_packet::Packet;
+
+use crate::auth::{AuthError, Authenticator, KeyScope};
+use crate::replay::{ReplayVerdict, ReplayWindow};
+
+/// Security posture of a channel — the three arms of the fig_replay
+/// experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelSecurity {
+    /// Plain ICRC only: integrity against line noise, nothing against an
+    /// adversary.
+    NoAuth,
+    /// ICRC-as-MAC (§5): forgery is out, but a captured packet replays
+    /// verbatim — tag, nonce and all.
+    Auth,
+    /// MAC plus the §7 sliding replay window: replays of delivered PSNs
+    /// are suppressed.
+    AuthReplay,
+}
+
+impl ChannelSecurity {
+    /// All arms, in experiment order.
+    pub const ALL: [ChannelSecurity; 3] = [
+        ChannelSecurity::NoAuth,
+        ChannelSecurity::Auth,
+        ChannelSecurity::AuthReplay,
+    ];
+
+    /// Stable string form used in JSON configs and result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChannelSecurity::NoAuth => "no-auth",
+            ChannelSecurity::Auth => "auth",
+            ChannelSecurity::AuthReplay => "auth+replay-window",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(label: &str) -> Option<ChannelSecurity> {
+        Self::ALL.into_iter().find(|s| s.label() == label)
+    }
+}
+
+/// Why [`SecureChannel::admit`] refused a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// VCRC failure: wire corruption (fault layer or tampering).
+    BadVcrc,
+    /// Authentication failure (forged, unkeyed, or corrupted inside the
+    /// VCRC's blind spot).
+    Auth(AuthError),
+    /// The PSN fell off the replay window — too old to judge, rejected
+    /// conservatively.
+    StalePsn,
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::BadVcrc => write!(f, "VCRC check failed"),
+            ChannelError::Auth(e) => write!(f, "authentication failed: {e}"),
+            ChannelError::StalePsn => write!(f, "PSN older than the replay window"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// What an admitted packet is allowed to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Never delivered: hand the payload to the application.
+    Fresh,
+    /// Already delivered (lost-ACK retransmit or attacker replay — the
+    /// receiver cannot and need not distinguish): suppress delivery, but
+    /// re-ACKing is safe.
+    Duplicate,
+}
+
+/// Admission counters (the fig_replay per-arm metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Packets admitted for first-time delivery.
+    pub fresh: u64,
+    /// Already-delivered PSNs suppressed (replays and lost-ACK retransmits).
+    pub duplicates: u64,
+    /// Packets failing VCRC (wire corruption).
+    pub rejected_vcrc: u64,
+    /// Packets failing MAC/ICRC verification.
+    pub rejected_auth: u64,
+    /// Packets older than the replay window.
+    pub rejected_stale: u64,
+}
+
+/// One receive direction's security state: optional authenticator,
+/// optional replay window, and counters.
+pub struct SecureChannel {
+    security: ChannelSecurity,
+    auth: Option<Authenticator>,
+    window: Option<ReplayWindow>,
+    /// Admission counters, readable at any time.
+    pub stats: ChannelStats,
+}
+
+impl SecureChannel {
+    /// A channel at `security` level for partition `pkey`, keyed with
+    /// `secret` (ignored under [`ChannelSecurity::NoAuth`]); `window` is
+    /// the replay-window depth for [`ChannelSecurity::AuthReplay`].
+    pub fn new(security: ChannelSecurity, pkey: PKey, secret: SecretKey, window: u32) -> Self {
+        let auth = match security {
+            ChannelSecurity::NoAuth => None,
+            ChannelSecurity::Auth | ChannelSecurity::AuthReplay => {
+                let mut a = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::Partition);
+                a.keys.install_partition_secret(pkey, secret);
+                Some(a)
+            }
+        };
+        let window = match security {
+            ChannelSecurity::AuthReplay => Some(ReplayWindow::new(window)),
+            _ => None,
+        };
+        SecureChannel {
+            security,
+            auth,
+            window,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The configured security arm.
+    pub fn security(&self) -> ChannelSecurity {
+        self.security
+    }
+
+    /// Replay-window depth, if one is active. A transport stacked on this
+    /// channel must keep its in-flight window within this bound so genuine
+    /// retransmits never go [`ReplayVerdict::Stale`].
+    pub fn window_depth(&self) -> Option<u32> {
+        self.window.as_ref().map(|w| w.window())
+    }
+
+    /// Outbound side: tag the (sealed) packet when authenticating, leave
+    /// the builder's plain ICRC otherwise. Retransmits rebuild identical
+    /// bytes under the original PSN, so the tag — nonce and all — comes
+    /// out identical too.
+    pub fn seal(&self, packet: &mut Packet) -> Result<(), AuthError> {
+        match &self.auth {
+            Some(auth) => auth.tag_packet(packet),
+            None => Ok(()),
+        }
+    }
+
+    /// Integrity/authenticity check alone, never touching the replay
+    /// window. This is the ACK-path check: acknowledgments are cumulative
+    /// and idempotent, so replaying an old one is harmless and they carry
+    /// data-sequence PSNs that must not pollute the data window.
+    pub fn verify_only(&mut self, packet: &Packet) -> Result<(), ChannelError> {
+        if !packet.vcrc_ok() {
+            self.stats.rejected_vcrc += 1;
+            return Err(ChannelError::BadVcrc);
+        }
+        match &self.auth {
+            Some(auth) => {
+                if let Err(e) = auth.verify_packet(packet) {
+                    self.stats.rejected_auth += 1;
+                    return Err(ChannelError::Auth(e));
+                }
+            }
+            None => {
+                // No adversarial protection, but line noise still fails the
+                // plain CRC when no tag replaced it.
+                if packet.bth.resv8a == 0 && !packet.icrc_ok() {
+                    self.stats.rejected_auth += 1;
+                    return Err(ChannelError::Auth(AuthError::BadIcrc));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Inbound side: VCRC, then MAC (or plain ICRC), then the replay
+    /// window. Counts every outcome in [`Self::stats`].
+    pub fn admit(&mut self, packet: &Packet) -> Result<Admit, ChannelError> {
+        self.verify_only(packet)?;
+        match &mut self.window {
+            Some(window) => match window.offer_psn(packet.bth.psn.0) {
+                ReplayVerdict::Fresh => {
+                    self.stats.fresh += 1;
+                    Ok(Admit::Fresh)
+                }
+                ReplayVerdict::Duplicate => {
+                    self.stats.duplicates += 1;
+                    Ok(Admit::Duplicate)
+                }
+                ReplayVerdict::Stale => {
+                    self.stats.rejected_stale += 1;
+                    Err(ChannelError::StalePsn)
+                }
+            },
+            // Without a window every verifying packet looks first-time —
+            // this is precisely how the no-window arms admit replays.
+            None => {
+                self.stats.fresh += 1;
+                Ok(Admit::Fresh)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_packet::types::{Lid, Psn, Qpn};
+    use ib_packet::{OpCode, PacketBuilder};
+
+    const PKEY: PKey = PKey(0x8001);
+
+    fn rc_packet(psn: u32, payload: &[u8]) -> Packet {
+        PacketBuilder::new(OpCode::RC_SEND_ONLY)
+            .slid(Lid(1))
+            .dlid(Lid(2))
+            .pkey(PKEY)
+            .dest_qp(Qpn(9))
+            .psn(Psn(psn))
+            .payload(payload.to_vec())
+            .build()
+    }
+
+    fn pair(security: ChannelSecurity) -> (SecureChannel, SecureChannel) {
+        let secret = SecretKey::from_seed(77);
+        (
+            SecureChannel::new(security, PKEY, secret, 64),
+            SecureChannel::new(security, PKEY, secret, 64),
+        )
+    }
+
+    #[test]
+    fn seal_admit_roundtrip_all_arms() {
+        for arm in ChannelSecurity::ALL {
+            let (tx, mut rx) = pair(arm);
+            let mut pkt = rc_packet(5, b"hello");
+            tx.seal(&mut pkt).unwrap();
+            let wire = Packet::parse(&pkt.to_bytes()).unwrap();
+            assert_eq!(rx.admit(&wire).unwrap(), Admit::Fresh, "{arm:?}");
+            assert_eq!(rx.stats.fresh, 1);
+        }
+    }
+
+    /// The tentpole distinction: replay-of-delivered suppressed, while a
+    /// retransmit of a never-delivered PSN goes through.
+    #[test]
+    fn delivered_replay_suppressed_lost_retransmit_accepted() {
+        let (tx, mut rx) = pair(ChannelSecurity::AuthReplay);
+        let build = |psn: u32| {
+            let mut p = rc_packet(psn, b"data");
+            tx.seal(&mut p).unwrap();
+            p
+        };
+        // PSNs 0,1,3 arrive; 2 was dropped by the fault layer.
+        for psn in [0, 1, 3] {
+            assert_eq!(rx.admit(&build(psn)).unwrap(), Admit::Fresh);
+        }
+        // Attacker replays the captured PSN-1 packet: byte-identical, MAC
+        // verifies — but delivery is suppressed.
+        assert_eq!(rx.admit(&build(1)).unwrap(), Admit::Duplicate);
+        // Sender's go-back-N retransmits PSN 2 (original PSN, identical
+        // tag): never delivered, so it is fresh.
+        assert_eq!(rx.admit(&build(2)).unwrap(), Admit::Fresh);
+        // And the retransmit of 3 that rides behind it: duplicate, safe to
+        // re-ACK, not delivered twice.
+        assert_eq!(rx.admit(&build(3)).unwrap(), Admit::Duplicate);
+        assert_eq!(rx.stats.fresh, 4);
+        assert_eq!(rx.stats.duplicates, 2);
+    }
+
+    /// Without a window, the same replay sails through as Fresh — the
+    /// vulnerability the fig_replay no-window arms quantify.
+    #[test]
+    fn no_window_arms_admit_replays() {
+        for arm in [ChannelSecurity::NoAuth, ChannelSecurity::Auth] {
+            let (tx, mut rx) = pair(arm);
+            let mut pkt = rc_packet(4, b"capture me");
+            tx.seal(&mut pkt).unwrap();
+            assert_eq!(rx.admit(&pkt).unwrap(), Admit::Fresh);
+            assert_eq!(rx.admit(&pkt).unwrap(), Admit::Fresh, "{arm:?} replay");
+            assert_eq!(rx.stats.fresh, 2);
+        }
+    }
+
+    #[test]
+    fn auth_arm_rejects_forgery_noauth_does_not() {
+        let (tx, mut rx) = pair(ChannelSecurity::Auth);
+        let mut pkt = rc_packet(1, b"legit");
+        tx.seal(&mut pkt).unwrap();
+        pkt.payload[0] ^= 1;
+        pkt.vcrc = pkt.compute_vcrc(); // attacker repairs the variant CRC
+        assert!(matches!(
+            rx.admit(&pkt),
+            Err(ChannelError::Auth(AuthError::BadTag))
+        ));
+        assert_eq!(rx.stats.rejected_auth, 1);
+
+        // NoAuth: the attacker also repairs the plain ICRC and walks in.
+        let (tx0, mut rx0) = pair(ChannelSecurity::NoAuth);
+        let mut pkt = rc_packet(1, b"legit");
+        tx0.seal(&mut pkt).unwrap();
+        pkt.payload[0] ^= 1;
+        pkt.icrc = pkt.compute_icrc();
+        pkt.vcrc = pkt.compute_vcrc();
+        assert_eq!(rx0.admit(&pkt).unwrap(), Admit::Fresh);
+    }
+
+    #[test]
+    fn corrupted_wire_fails_vcrc() {
+        let (tx, mut rx) = pair(ChannelSecurity::AuthReplay);
+        let mut pkt = rc_packet(1, b"bits");
+        tx.seal(&mut pkt).unwrap();
+        pkt.payload[0] ^= 0x40; // VCRC not recomputed: line noise
+        assert_eq!(rx.admit(&pkt), Err(ChannelError::BadVcrc));
+        assert_eq!(rx.stats.rejected_vcrc, 1);
+    }
+
+    #[test]
+    fn stale_psn_rejected() {
+        let (tx, mut rx) = pair(ChannelSecurity::AuthReplay);
+        let build = |psn: u32| {
+            let mut p = rc_packet(psn, b"x");
+            tx.seal(&mut p).unwrap();
+            p
+        };
+        assert_eq!(rx.admit(&build(0)).unwrap(), Admit::Fresh);
+        assert_eq!(rx.admit(&build(100)).unwrap(), Admit::Fresh);
+        // PSN 0 is now 100 behind: unjudgeable.
+        assert_eq!(rx.admit(&build(0)), Err(ChannelError::StalePsn));
+        assert_eq!(rx.stats.rejected_stale, 1);
+    }
+
+    #[test]
+    fn labels_round_trip_and_window_depth() {
+        for arm in ChannelSecurity::ALL {
+            assert_eq!(ChannelSecurity::from_label(arm.label()), Some(arm));
+        }
+        assert_eq!(ChannelSecurity::from_label("bogus"), None);
+        let (_, rx) = pair(ChannelSecurity::AuthReplay);
+        assert_eq!(rx.window_depth(), Some(64));
+        let (_, rx) = pair(ChannelSecurity::Auth);
+        assert_eq!(rx.window_depth(), None);
+    }
+}

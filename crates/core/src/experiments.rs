@@ -8,6 +8,7 @@
 //! across independent work items" idiom).
 
 use ib_mgmt::enforcement::EnforcementKind;
+use ib_runtime::{Json, ToJson};
 use ib_sim::config::{AuthMode, SimConfig, TrafficConfig};
 use ib_sim::engine::{SimReport, Simulator};
 use ib_sim::time::{MS, US};
@@ -34,22 +35,13 @@ pub struct AveragedPoint {
     pub generated: u64,
 }
 
-/// Run `base` under `seeds` different seeds (in parallel) and average the
-/// per-run statistics.
-pub fn run_seed_averaged(base: &SimConfig, seeds: u64) -> AveragedPoint {
-    let configs: Vec<SimConfig> = (0..seeds.max(1))
-        .map(|s| {
-            let mut cfg = base.clone();
-            // SplitMix-mixed stream derivation: repeat seeds share no
-            // state structure even for adjacent indices.
-            cfg.seed = base.seed.stream(s);
-            cfg
-        })
-        .collect();
-    let n = configs.len() as f64;
-    let reports = run_many(configs);
+/// Average one point's per-seed reports, strictly in seed order. Shared
+/// by the single-point and grid runners so the two produce bit-identical
+/// floating-point results (same values, same summation order).
+fn average_reports(reports: &[SimReport]) -> AveragedPoint {
+    let n = reports.len() as f64;
     let mut p = AveragedPoint::default();
-    for r in &reports {
+    for r in reports {
         p.rt_queuing_us += r.realtime.queuing.mean() / n;
         p.rt_network_us += r.realtime.network.mean() / n;
         p.be_queuing_us += r.best_effort.queuing.mean() / n;
@@ -64,6 +56,46 @@ pub fn run_seed_averaged(base: &SimConfig, seeds: u64) -> AveragedPoint {
         p.generated += r.generated;
     }
     p
+}
+
+/// Run `base` under `seeds` different seeds (in parallel) and average the
+/// per-run statistics.
+pub fn run_seed_averaged(base: &SimConfig, seeds: u64) -> AveragedPoint {
+    run_grid_seed_averaged(std::slice::from_ref(base), seeds)
+        .pop()
+        .expect("one base produces one point")
+}
+
+/// Run a whole sweep — every `(grid point × seed)` pair — as **one**
+/// flattened parallel work list, then fold each point's shard back down
+/// in seed order.
+///
+/// Sweeping point-by-point wastes a thread-pool barrier per point: the
+/// last seed of point *k* gates the first seed of point *k+1* even
+/// though every simulation is independent. Flattening keeps all cores
+/// busy across the entire grid. Because each run's seed is
+/// `base.seed.stream(s)` regardless of where it sits in the work list,
+/// and [`average_reports`] folds shards in seed order, the result is
+/// bit-identical to calling [`run_seed_averaged`] per point.
+pub fn run_grid_seed_averaged(bases: &[SimConfig], seeds: u64) -> Vec<AveragedPoint> {
+    let seeds = seeds.max(1);
+    let configs: Vec<SimConfig> = bases
+        .iter()
+        .flat_map(|base| {
+            (0..seeds).map(move |s| {
+                let mut cfg = base.clone();
+                // SplitMix-mixed stream derivation: repeat seeds share no
+                // state structure even for adjacent indices.
+                cfg.seed = base.seed.stream(s);
+                cfg
+            })
+        })
+        .collect();
+    let reports = run_many(configs);
+    reports
+        .chunks(seeds as usize)
+        .map(average_reports)
+        .collect()
 }
 
 /// Run every configuration, in parallel, preserving order.
@@ -83,6 +115,19 @@ pub struct Fig1Row {
     /// Best-effort traffic (Figure 1b), µs.
     pub be_queuing_us: f64,
     pub be_network_us: f64,
+}
+
+impl Fig1Row {
+    /// JSON object form (one BENCH_fig1.json point).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("attackers", (self.attackers as u64).to_json()),
+            ("rt_queuing_us", self.rt_queuing_us.to_json()),
+            ("rt_network_us", self.rt_network_us.to_json()),
+            ("be_queuing_us", self.be_queuing_us.to_json()),
+            ("be_network_us", self.be_network_us.to_json()),
+        ])
+    }
 }
 
 /// The Figure 1 configuration: 16-node mesh, four random partitions,
@@ -107,18 +152,19 @@ pub fn fig1_config(attackers: usize) -> SimConfig {
 }
 
 /// Regenerate Figure 1: one row per attacker count 0..=max, each averaged
-/// over `seeds` random partition/attacker placements.
+/// over `seeds` random partition/attacker placements. The whole
+/// (attackers × seed) grid runs as one flattened parallel work list.
 pub fn fig1_with_seeds(max_attackers: usize, seeds: u64) -> Vec<Fig1Row> {
-    (0..=max_attackers)
-        .map(|attackers| {
-            let p = run_seed_averaged(&fig1_config(attackers), seeds);
-            Fig1Row {
-                attackers,
-                rt_queuing_us: p.rt_queuing_us,
-                rt_network_us: p.rt_network_us,
-                be_queuing_us: p.be_queuing_us,
-                be_network_us: p.be_network_us,
-            }
+    let bases: Vec<SimConfig> = (0..=max_attackers).map(fig1_config).collect();
+    run_grid_seed_averaged(&bases, seeds)
+        .into_iter()
+        .enumerate()
+        .map(|(attackers, p)| Fig1Row {
+            attackers,
+            rt_queuing_us: p.rt_queuing_us,
+            rt_network_us: p.rt_network_us,
+            be_queuing_us: p.be_queuing_us,
+            be_network_us: p.be_network_us,
         })
         .collect()
 }
@@ -144,6 +190,21 @@ pub struct Fig5Row {
     /// Attack packets stopped in the fabric vs at HCAs.
     pub filter_drops: u64,
     pub hca_blocked: u64,
+}
+
+impl Fig5Row {
+    /// JSON object form (one BENCH_fig5.json cell).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("input_load", self.input_load.to_json()),
+            ("enforcement", self.enforcement.label().to_json()),
+            ("network_us", self.network_us.to_json()),
+            ("queuing_us", self.queuing_us.to_json()),
+            ("stddev_us", self.stddev_us.to_json()),
+            ("filter_drops", self.filter_drops.to_json()),
+            ("hca_blocked", self.hca_blocked.to_json()),
+        ])
+    }
 }
 
 /// Figure 5's configuration: four attackers, attack probability 1 % per
@@ -183,24 +244,29 @@ pub const FIG5_KINDS: [EnforcementKind; 4] = [
 /// for the sensitivity ablation in DESIGN.md), each cell averaged over
 /// `seeds` placements.
 pub fn fig5_with_attack_probability(attack_probability: f64, seeds: u64) -> Vec<Fig5Row> {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    let mut bases = Vec::new();
     for &load in &FIG5_LOADS {
         for &kind in &FIG5_KINDS {
             let mut cfg = fig5_config(load, kind);
             cfg.attack_probability = attack_probability;
-            let p = run_seed_averaged(&cfg, seeds);
-            rows.push(Fig5Row {
-                input_load: load,
-                enforcement: kind,
-                network_us: p.legit_network_us,
-                queuing_us: p.legit_queuing_us,
-                stddev_us: p.legit_queuing_stddev_us,
-                filter_drops: p.filter_drops,
-                hca_blocked: p.hca_blocked,
-            });
+            cells.push((load, kind));
+            bases.push(cfg);
         }
     }
-    rows
+    run_grid_seed_averaged(&bases, seeds)
+        .into_iter()
+        .zip(cells)
+        .map(|(p, (load, kind))| Fig5Row {
+            input_load: load,
+            enforcement: kind,
+            network_us: p.legit_network_us,
+            queuing_us: p.legit_queuing_us,
+            stddev_us: p.legit_queuing_stddev_us,
+            filter_drops: p.filter_drops,
+            hca_blocked: p.hca_blocked,
+        })
+        .collect()
 }
 
 /// Regenerate Figure 5 with the paper's 1 % attack probability.
@@ -219,6 +285,19 @@ pub struct Fig6Row {
     pub queuing_us: f64,
     pub network_us: f64,
     pub queuing_stddev_us: f64,
+}
+
+impl Fig6Row {
+    /// JSON object form (one BENCH_fig6.json cell).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("input_load", self.input_load.to_json()),
+            ("mode", self.mode.label().to_json()),
+            ("queuing_us", self.queuing_us.to_json()),
+            ("network_us", self.network_us.to_json()),
+            ("queuing_stddev_us", self.queuing_stddev_us.to_json()),
+        ])
+    }
 }
 
 /// Figure 6's configuration: no attackers, input load sweep, QP-level key
@@ -241,20 +320,25 @@ pub fn fig6_config(load: f64, mode: AuthMode) -> SimConfig {
 /// `[None, QpLevel]` (the paper's No Key / With Key bars); partition-level
 /// is included by the ablation. Each cell averages `seeds` placements.
 pub fn fig6_with_seeds(modes: &[AuthMode], seeds: u64) -> Vec<Fig6Row> {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    let mut bases = Vec::new();
     for &load in &FIG5_LOADS {
         for &mode in modes {
-            let p = run_seed_averaged(&fig6_config(load, mode), seeds);
-            rows.push(Fig6Row {
-                input_load: load,
-                mode,
-                queuing_us: p.legit_queuing_us,
-                network_us: p.legit_network_us,
-                queuing_stddev_us: p.legit_queuing_stddev_us,
-            });
+            cells.push((load, mode));
+            bases.push(fig6_config(load, mode));
         }
     }
-    rows
+    run_grid_seed_averaged(&bases, seeds)
+        .into_iter()
+        .zip(cells)
+        .map(|(p, (load, mode))| Fig6Row {
+            input_load: load,
+            mode,
+            queuing_us: p.legit_queuing_us,
+            network_us: p.legit_network_us,
+            queuing_stddev_us: p.legit_queuing_stddev_us,
+        })
+        .collect()
 }
 
 /// Regenerate Figure 6 with the default seed count.
@@ -283,6 +367,28 @@ mod tests {
         // The two configs genuinely differ (second has attackers).
         assert_eq!(a[0].hca_blocked, 0);
         assert!(a[1].hca_blocked > 0);
+    }
+
+    /// The flattened grid runner must be *bit-identical* to running each
+    /// point serially — same seeds, same fold order, same f64 results —
+    /// or sharded sweeps would not reproduce published numbers.
+    #[test]
+    fn grid_runner_bit_identical_to_per_point() {
+        let bases = vec![quick(fig1_config(0)), quick(fig1_config(3))];
+        let grid = run_grid_seed_averaged(&bases, 3);
+        assert_eq!(grid.len(), 2);
+        for (base, got) in bases.iter().zip(&grid) {
+            let solo = run_seed_averaged(base, 3);
+            assert_eq!(solo.rt_queuing_us.to_bits(), got.rt_queuing_us.to_bits());
+            assert_eq!(solo.be_queuing_us.to_bits(), got.be_queuing_us.to_bits());
+            assert_eq!(solo.be_network_us.to_bits(), got.be_network_us.to_bits());
+            assert_eq!(
+                solo.legit_queuing_stddev_us.to_bits(),
+                got.legit_queuing_stddev_us.to_bits()
+            );
+            assert_eq!(solo.filter_drops, got.filter_drops);
+            assert_eq!(solo.generated, got.generated);
+        }
     }
 
     #[test]

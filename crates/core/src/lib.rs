@@ -23,6 +23,9 @@
 //! * [`auth`] — tagging/verification of real [`ib_packet::Packet`]s, keyed
 //!   from [`ib_mgmt::keymgmt`] tables; the end-to-end functional path.
 //! * [`replay`] — §7's nonce/sliding-window replay defense (PSN as nonce).
+//! * [`channel`] — authentication + replay window composed into one
+//!   receive path, reconciled with reliable-transport retransmission (the
+//!   delivered-vs-lost duplicate distinction `ib-transport` builds on).
 //! * [`ondemand`] — §5.1's per-partition / per-QP on-demand enablement.
 //! * [`fabric`] — an in-memory secure fabric tying SM, key distribution,
 //!   tagging and verification together; what the examples drive.
@@ -34,12 +37,14 @@
 
 pub mod analysis;
 pub mod auth;
+pub mod channel;
 pub mod experiments;
 pub mod fabric;
 pub mod ondemand;
 pub mod replay;
 
 pub use auth::{AuthError, Authenticator, KeyScope};
+pub use channel::{Admit, ChannelError, ChannelSecurity, SecureChannel};
 pub use fabric::SecureFabric;
 pub use ondemand::OnDemandPolicy;
-pub use replay::ReplayWindow;
+pub use replay::{ReplayVerdict, ReplayWindow};

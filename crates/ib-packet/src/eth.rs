@@ -98,10 +98,107 @@ pub struct Aeth {
     pub msn: u32,
 }
 
+/// NAK codes carried in the low 5 syndrome bits when bits [6:5] = `11`
+/// (IBA spec §9.7.5.2.4 — table 58). The RC transport emits
+/// [`NakCode::PsnSequenceError`] for an out-of-sequence PSN; the rest are
+/// defined for completeness of the wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NakCode {
+    /// PSN outside the receiver's expected sequence — the go-back-N
+    /// retransmission trigger.
+    PsnSequenceError,
+    /// Unsupported or malformed request.
+    InvalidRequest,
+    /// R_Key / access-rights violation.
+    RemoteAccessError,
+    /// Responder could not complete the operation.
+    RemoteOperationalError,
+    /// Invalid RD request (reliable-datagram only).
+    InvalidRdRequest,
+}
+
+impl NakCode {
+    const ALL: [NakCode; 5] = [
+        NakCode::PsnSequenceError,
+        NakCode::InvalidRequest,
+        NakCode::RemoteAccessError,
+        NakCode::RemoteOperationalError,
+        NakCode::InvalidRdRequest,
+    ];
+
+    /// Low-5-bit wire value.
+    pub fn value(self) -> u8 {
+        match self {
+            NakCode::PsnSequenceError => 0,
+            NakCode::InvalidRequest => 1,
+            NakCode::RemoteAccessError => 2,
+            NakCode::RemoteOperationalError => 3,
+            NakCode::InvalidRdRequest => 4,
+        }
+    }
+
+    /// Inverse of [`value`](Self::value); `None` for reserved codes.
+    pub fn from_value(v: u8) -> Option<NakCode> {
+        Self::ALL.into_iter().find(|c| c.value() == v)
+    }
+}
+
+/// Decoded meaning of an AETH syndrome byte (IBA spec §9.7.5.2.4: bit 7
+/// reserved, bits [6:5] select ACK `00` / RNR NAK `01` / NAK `11`, low 5
+/// bits carry the credit count, RNR timer, or NAK code respectively).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AethKind {
+    /// Positive acknowledgment; `credits` is the encoded end-to-end credit
+    /// count (opaque to this crate).
+    Ack { credits: u8 },
+    /// Receiver-not-ready NAK; `timer` encodes the minimum retry delay.
+    Rnr { timer: u8 },
+    /// Negative acknowledgment with a [`NakCode`].
+    Nak(NakCode),
+}
+
 /// Serialized AETH size in bytes.
 pub const AETH_LEN: usize = 4;
 
 impl Aeth {
+    /// Positive ACK syndrome (bits [6:5] = `00`, zero credits).
+    pub fn ack(msn: u32) -> Aeth {
+        Aeth {
+            syndrome: 0x00,
+            msn: msn & 0x00FF_FFFF,
+        }
+    }
+
+    /// RNR NAK syndrome (bits [6:5] = `01`) with a 5-bit timer field.
+    pub fn rnr(timer: u8, msn: u32) -> Aeth {
+        Aeth {
+            syndrome: 0x20 | (timer & 0x1F),
+            msn: msn & 0x00FF_FFFF,
+        }
+    }
+
+    /// NAK syndrome (bits [6:5] = `11`) carrying `code`.
+    pub fn nak(code: NakCode, msn: u32) -> Aeth {
+        Aeth {
+            syndrome: 0x60 | code.value(),
+            msn: msn & 0x00FF_FFFF,
+        }
+    }
+
+    /// Decode the syndrome; `None` for reserved encodings (bit 7 set,
+    /// the reserved `10` class, or a reserved NAK code).
+    pub fn kind(&self) -> Option<AethKind> {
+        if self.syndrome & 0x80 != 0 {
+            return None;
+        }
+        let low = self.syndrome & 0x1F;
+        match (self.syndrome >> 5) & 0x3 {
+            0b00 => Some(AethKind::Ack { credits: low }),
+            0b01 => Some(AethKind::Rnr { timer: low }),
+            0b11 => NakCode::from_value(low).map(AethKind::Nak),
+            _ => None,
+        }
+    }
     /// Serialize into a 4-byte array.
     pub fn to_bytes(&self) -> [u8; AETH_LEN] {
         let msn = self.msn.to_be_bytes();
@@ -197,6 +294,78 @@ mod tests {
         };
         let parsed = Aeth::parse(&aeth.to_bytes()).unwrap();
         assert_eq!(parsed.msn, 0x00123456);
+    }
+
+    #[test]
+    fn aeth_kind_roundtrip() {
+        let ack = Aeth::ack(7);
+        assert_eq!(ack.kind(), Some(AethKind::Ack { credits: 0 }));
+        assert_eq!(ack.msn, 7);
+
+        let rnr = Aeth::rnr(0x15, 9);
+        assert_eq!(rnr.kind(), Some(AethKind::Rnr { timer: 0x15 }));
+        assert_eq!(rnr.syndrome, 0x35);
+
+        let nak = Aeth::nak(NakCode::PsnSequenceError, 3);
+        assert_eq!(nak.kind(), Some(AethKind::Nak(NakCode::PsnSequenceError)));
+        assert_eq!(nak.syndrome, 0x60);
+        // Survives serialization.
+        let parsed = Aeth::parse(&nak.to_bytes()).unwrap();
+        assert_eq!(parsed.kind(), nak.kind());
+    }
+
+    #[test]
+    fn aeth_kind_rejects_reserved() {
+        // Bit 7 set: reserved.
+        assert_eq!(
+            Aeth {
+                syndrome: 0x80,
+                msn: 0
+            }
+            .kind(),
+            None
+        );
+        // Class `10`: reserved.
+        assert_eq!(
+            Aeth {
+                syndrome: 0x40,
+                msn: 0
+            }
+            .kind(),
+            None
+        );
+        // NAK with a reserved code (5..=31).
+        assert_eq!(
+            Aeth {
+                syndrome: 0x60 | 5,
+                msn: 0
+            }
+            .kind(),
+            None
+        );
+        assert_eq!(
+            Aeth {
+                syndrome: 0x7F,
+                msn: 0
+            }
+            .kind(),
+            None
+        );
+    }
+
+    #[test]
+    fn nak_code_values() {
+        for code in [
+            NakCode::PsnSequenceError,
+            NakCode::InvalidRequest,
+            NakCode::RemoteAccessError,
+            NakCode::RemoteOperationalError,
+            NakCode::InvalidRdRequest,
+        ] {
+            assert_eq!(NakCode::from_value(code.value()), Some(code));
+        }
+        assert_eq!(NakCode::from_value(5), None);
+        assert_eq!(NakCode::from_value(31), None);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod types;
 
 pub use bth::Bth;
 pub use error::ParseError;
-pub use eth::{Aeth, Deth, ImmDt, Reth};
+pub use eth::{Aeth, AethKind, Deth, ImmDt, NakCode, Reth};
 pub use grh::Grh;
 pub use lrh::{Lnh, Lrh};
 pub use opcode::{OpCode, TransportService};

@@ -1,10 +1,18 @@
-//! A seeded property-test driver with failure-case shrinking.
+//! A seeded property-test driver with failure-case shrinking and a
+//! persistent failure corpus.
 //!
 //! Replaces the proptest dependency for the workspace's invariant tests:
 //! cases are generated from a deterministic [`Gen`] (so failures
 //! reproduce from the printed seed), properties are ordinary closures
 //! that panic on violation, and a failing case is greedily shrunk through
 //! caller-supplied candidate reductions before being reported.
+//!
+//! When a property fails, [`run`] records the `(seed, case index)` pair
+//! under the workspace's `tests/corpus/` directory and **replays every
+//! stored pair first** on subsequent runs — a once-seen counterexample is
+//! re-checked forever, before any random generation. Set
+//! `CHECK_CORPUS_DIR` to relocate the corpus, or to the empty string to
+//! disable persistence.
 //!
 //! ```
 //! use ib_runtime::check;
@@ -20,6 +28,7 @@
 
 use crate::rng::{Rng, Seed};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 
 /// Deterministic case generator handed to the generation closure.
 pub struct Gen {
@@ -93,27 +102,165 @@ impl Gen {
 ///
 /// The base seed comes from `CHECK_SEED` (decimal or 0x-hex) when set,
 /// else a fixed default; the failure report prints seed and case index so
-/// any failure replays exactly.
-pub fn run<T, G, S, P>(name: &str, cases: u32, mut gen: G, shrink: S, prop: P)
+/// any failure replays exactly. Failures are also appended to the
+/// persistent corpus (see the module docs) and stored corpus entries are
+/// replayed before the random phase.
+pub fn run<T, G, S, P>(name: &str, cases: u32, gen: G, shrink: S, prop: P)
 where
     T: std::fmt::Debug,
     G: FnMut(&mut Gen) -> T,
     S: Fn(&T) -> Vec<T>,
     P: Fn(&T),
 {
+    run_with_corpus(
+        name,
+        cases,
+        default_corpus_dir().as_deref(),
+        gen,
+        shrink,
+        prop,
+    )
+}
+
+/// [`run`] with an explicit corpus directory (`None` disables
+/// persistence — used by the driver's own failure-path tests, and by
+/// anyone who wants purely ephemeral checks).
+pub fn run_with_corpus<T, G, S, P>(
+    name: &str,
+    cases: u32,
+    corpus: Option<&Path>,
+    mut gen: G,
+    shrink: S,
+    prop: P,
+) where
+    T: std::fmt::Debug,
+    G: FnMut(&mut Gen) -> T,
+    S: Fn(&T) -> Vec<T>,
+    P: Fn(&T),
+{
     let seed = env_seed();
+    let corpus_file = corpus.map(|dir| dir.join(format!("{}.seeds", sanitize_name(name))));
+
+    // Replay phase: every counterexample this property has ever produced
+    // is regenerated from its recorded (seed, case index) and re-checked
+    // before any random exploration.
+    if let Some(file) = &corpus_file {
+        for (stored_seed, case_index) in read_corpus(file) {
+            let mut g = Gen::new(stored_seed.stream(case_index));
+            let case = gen(&mut g);
+            if let Err(message) = check_one(&prop, &case) {
+                let (minimal, min_message, steps) = shrink_failure(&shrink, &prop, case, message);
+                panic!(
+                    "property '{name}' failed on stored corpus case (seed {stored_seed}, \
+                     case {case_index}, {steps} shrink steps)\n  corpus: {}\n  \
+                     minimal case: {minimal:?}\n  failure: {min_message}",
+                    file.display(),
+                );
+            }
+        }
+    }
+
+    // Random phase.
     for case_index in 0..cases {
         let mut g = Gen::new(seed.stream(case_index as u64));
         let case = gen(&mut g);
         if let Err(message) = check_one(&prop, &case) {
+            let recorded = corpus_file
+                .as_ref()
+                .filter(|file| record_failure(file, seed, case_index as u64))
+                .map(|file| format!("\n  recorded: {}", file.display()))
+                .unwrap_or_default();
             let (minimal, min_message, steps) = shrink_failure(&shrink, &prop, case, message);
             panic!(
                 "property '{name}' failed (seed {seed}, case {case_index}/{cases}, \
                  {steps} shrink steps)\n  minimal case: {minimal:?}\n  failure: {min_message}\n  \
-                 replay: CHECK_SEED={seed} cargo test",
+                 replay: CHECK_SEED={seed} cargo test{recorded}",
             );
         }
     }
+}
+
+/// Corpus file stem: the property name with every non-alphanumeric run
+/// collapsed to a single `-`.
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// Where failures persist: `CHECK_CORPUS_DIR` when set (empty disables),
+/// else `tests/corpus` under the nearest ancestor of the working
+/// directory that has a `tests/` directory (the workspace root, for every
+/// crate in this repo).
+fn default_corpus_dir() -> Option<PathBuf> {
+    if let Ok(v) = std::env::var("CHECK_CORPUS_DIR") {
+        let v = v.trim();
+        if v.is_empty() {
+            return None;
+        }
+        return Some(PathBuf::from(v));
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    for _ in 0..5 {
+        if dir.join("tests").is_dir() {
+            return Some(dir.join("tests").join("corpus"));
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    None
+}
+
+/// Parse stored `0x<seed-hex> <case-index>` lines; malformed lines and
+/// `#` comments are skipped so a hand-edited file never breaks the run.
+fn read_corpus(file: &Path) -> Vec<(Seed, u64)> {
+    let Ok(text) = std::fs::read_to_string(file) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let (seed_part, index_part) = line.split_once(' ')?;
+            let seed = u64::from_str_radix(seed_part.strip_prefix("0x")?, 16).ok()?;
+            let index = index_part.trim().parse().ok()?;
+            Some((Seed(seed), index))
+        })
+        .collect()
+}
+
+/// Append a failing `(seed, case index)` to the corpus, deduplicated.
+/// Returns whether the entry is durably in the file (best-effort: a
+/// read-only checkout must not turn a test failure into an IO panic).
+fn record_failure(file: &Path, seed: Seed, case_index: u64) -> bool {
+    let entry = format!("0x{:016X} {case_index}", seed.0);
+    if read_corpus(file)
+        .iter()
+        .any(|&(s, i)| s == seed && i == case_index)
+    {
+        return true;
+    }
+    if let Some(parent) = file.parent() {
+        if std::fs::create_dir_all(parent).is_err() {
+            return false;
+        }
+    }
+    use std::io::Write;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(file)
+        .and_then(|mut f| writeln!(f, "{entry}"))
+        .is_ok()
 }
 
 /// A `shrink` argument for cases with nothing useful to reduce.
@@ -249,9 +396,10 @@ mod tests {
     #[test]
     fn failing_property_panics_with_context() {
         let result = catch_unwind(|| {
-            run(
+            run_with_corpus(
                 "always fails above 10",
                 64,
+                None,
                 |g| g.u64_in(0..1000),
                 |&v| shrink_uint(v),
                 |&v| assert!(v <= 10, "value {v} exceeds 10"),
@@ -269,9 +417,10 @@ mod tests {
         // Fails whenever the vector contains a nonzero byte; minimal
         // failing case is a single nonzero byte (shrunk toward [1]-like).
         let result = catch_unwind(|| {
-            run(
+            run_with_corpus(
                 "no nonzero bytes",
                 32,
+                None,
                 |g| g.bytes(1..128),
                 |v| shrink_bytes(v),
                 |v| assert!(v.iter().all(|&b| b == 0)),
@@ -304,6 +453,81 @@ mod tests {
             g.usize_in(0..5),
             g.u64_in(0..5),
         );
+    }
+
+    #[test]
+    fn corpus_records_replays_and_dedups_failures() {
+        let dir = std::env::temp_dir().join(format!("ib-check-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A failing run records its (seed, case index) before panicking.
+        let fail_once = || {
+            catch_unwind(|| {
+                run_with_corpus(
+                    "corpus: demo prop",
+                    64,
+                    Some(dir.as_path()),
+                    |g| g.u64_in(0..1000),
+                    |&v| shrink_uint(v),
+                    |&v| assert!(v <= 10, "value {v} exceeds 10"),
+                )
+            })
+        };
+        let msg = panic_message(fail_once().expect_err("must fail"));
+        assert!(msg.contains("recorded: "), "{msg}");
+        let file = dir.join("corpus-demo-prop.seeds");
+        let entries = read_corpus(&file);
+        assert_eq!(entries.len(), 1, "one failure, one corpus line");
+        let (stored_seed, stored_index) = entries[0];
+
+        // Replay-first: a later run re-checks the stored case before any
+        // random generation, failing with the corpus context...
+        let msg = panic_message(fail_once().expect_err("replay must fail"));
+        assert!(msg.contains("stored corpus case"), "{msg}");
+        assert!(
+            read_corpus(&file).len() == 1,
+            "replay failures are not re-recorded"
+        );
+
+        // ...and regenerates exactly the recorded counterexample.
+        let replayed = std::cell::RefCell::new(Vec::new());
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            run_with_corpus(
+                "corpus: demo prop",
+                0, // no random phase: only the corpus is exercised
+                Some(dir.as_path()),
+                |g| g.u64_in(0..1000),
+                no_shrink,
+                |&v| replayed.borrow_mut().push(v),
+            )
+        }));
+        let expected = Gen::new(stored_seed.stream(stored_index)).u64_in(0..1000);
+        assert_eq!(replayed.into_inner(), vec![expected]);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_name_sanitization_and_parsing() {
+        assert_eq!(sanitize_name("MAC tags verify (§6)"), "mac-tags-verify-6");
+        assert_eq!(sanitize_name("---"), "");
+        let dir = std::env::temp_dir().join(format!("ib-check-parse-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let file = dir.join("p.seeds");
+        std::fs::write(
+            &file,
+            "# comment\n0x00000000000000FF 3\nnot a line\n0x10 2\n0x00000000000000FF 3\n",
+        )
+        .unwrap();
+        assert_eq!(
+            read_corpus(&file),
+            vec![(Seed(0xFF), 3), (Seed(0x10), 2), (Seed(0xFF), 3)]
+        );
+        assert!(read_corpus(Path::new("/nonexistent/x.seeds")).is_empty());
+        // Recording the same entry twice leaves a single line.
+        assert!(record_failure(&file, Seed(0xFF), 3));
+        assert_eq!(read_corpus(&file).len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

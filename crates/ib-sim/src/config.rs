@@ -4,6 +4,7 @@
 use ib_mgmt::enforcement::EnforcementKind;
 use ib_runtime::{Json, Seed, ToJson};
 
+use crate::fault::FaultConfig;
 use crate::time::{SimTime, MS, NS, US};
 
 /// Which P_Keys the attackers stamp on their flood.
@@ -280,6 +281,11 @@ pub struct SimConfig {
     /// Round-trip estimate charged for a QP-level key exchange.
     pub key_exchange_rtt: SimTime,
 
+    // ---- faults ----
+    /// Per-link drop/corrupt/reorder probabilities (all-zero default keeps
+    /// the fault layer fully disabled).
+    pub fault: FaultConfig,
+
     // ---- run control ----
     /// Traffic profile.
     pub traffic: TrafficConfig,
@@ -320,6 +326,7 @@ impl Default for SimConfig {
             auth: AuthMode::None,
             auth_cycles_per_message: 1,
             key_exchange_rtt: 40 * US,
+            fault: FaultConfig::default(),
             traffic: TrafficConfig::default(),
             duration: 10 * MS,
             warmup: MS,
@@ -373,6 +380,7 @@ impl SimConfig {
                 self.auth_cycles_per_message.to_json(),
             ),
             ("key_exchange_rtt", self.key_exchange_rtt.to_json()),
+            ("fault", self.fault.to_json()),
             ("traffic", self.traffic.to_json()),
             ("duration", self.duration.to_json()),
             ("warmup", self.warmup.to_json()),
@@ -409,6 +417,7 @@ impl SimConfig {
             auth: AuthMode::from_label(v.get("auth")?.as_str()?)?,
             auth_cycles_per_message: v.get("auth_cycles_per_message")?.as_u64()?,
             key_exchange_rtt: v.get("key_exchange_rtt")?.as_u64()?,
+            fault: FaultConfig::from_json(v.get("fault")?)?,
             traffic: TrafficConfig::from_json(v.get("traffic")?)?,
             duration: v.get("duration")?.as_u64()?,
             warmup: v.get("warmup")?.as_u64()?,
@@ -496,6 +505,7 @@ mod tests {
             enforcement: EnforcementKind::Sif,
             trap_transport: TrapTransport::InBand,
             auth: AuthMode::QpLevel,
+            fault: FaultConfig::lossy(0.02, 50_000),
             seed: Seed(0xDEAD_BEEF_CAFE_F00D),
             ..SimConfig::default()
         };
@@ -516,6 +526,7 @@ mod tests {
             back.traffic.realtime_backoff_queue,
             cfg.traffic.realtime_backoff_queue
         );
+        assert_eq!(back.fault, cfg.fault);
         assert_eq!(back.seed, cfg.seed);
         assert_eq!(back.link_gbps, cfg.link_gbps);
         assert_eq!(back.duration, cfg.duration);

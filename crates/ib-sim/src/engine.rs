@@ -40,6 +40,7 @@ use ib_packet::types::PKey;
 
 use crate::config::{ArbitrationPolicy, AttackKeys, AuthMode, SimConfig};
 use crate::event::{Event, EventQueue, SimPacket};
+use crate::fault::{FaultInjector, FaultOutcome};
 use crate::metrics::ClassStats;
 use crate::time::{tx_time_ps, SimTime};
 use crate::topology::{MeshTopology, Peer, PORT_HOST};
@@ -112,6 +113,10 @@ pub struct SimReport {
     pub lookup_cycles: u64,
     /// Fraction of simulated time the attack was active.
     pub attack_active_fraction: f64,
+    /// Packets the fault layer dropped on the wire.
+    pub link_drops: u64,
+    /// Packets the fault layer corrupted (discarded by the receiver's CRC).
+    pub corrupt_drops: u64,
 }
 
 impl SimReport {
@@ -155,6 +160,8 @@ impl SimReport {
                 "attack_active_fraction",
                 self.attack_active_fraction.to_json(),
             ),
+            ("link_drops", self.link_drops.to_json()),
+            ("corrupt_drops", self.corrupt_drops.to_json()),
         ])
     }
 
@@ -172,6 +179,8 @@ impl SimReport {
             generated: v.get("generated")?.as_u64()?,
             lookup_cycles: v.get("lookup_cycles")?.as_u64()?,
             attack_active_fraction: v.get("attack_active_fraction")?.as_f64()?,
+            link_drops: v.get("link_drops")?.as_u64()?,
+            corrupt_drops: v.get("corrupt_drops")?.as_u64()?,
         })
     }
 }
@@ -201,6 +210,11 @@ pub struct Simulator {
     next_packet_id: u64,
     mtu_tx: SimTime,
     auth_delay: SimTime,
+    /// Per-directed-link fault injectors (`None` when the fault config is
+    /// all-zero, so fault-free runs never touch these RNG streams). Index
+    /// layout: `node` for the HCA → switch uplink, then
+    /// `n + switch * ports_per_switch + port` for each switch output.
+    faults: Option<Vec<FaultInjector>>,
 }
 
 impl Simulator {
@@ -307,6 +321,19 @@ impl Simulator {
             AuthMode::None => 0,
             _ => cfg.auth_cycles_per_message * cfg.cycle_time,
         };
+        // Each directed link gets its own seed stream so one link's
+        // decisions never perturb another's.
+        let faults = if cfg.fault.is_active() {
+            let fseed = cfg.seed ^ 0xFA17_FA17;
+            let links = n + n * cfg.ports_per_switch;
+            Some(
+                (0..links)
+                    .map(|i| FaultInjector::new(cfg.fault, fseed.stream(i as u64)))
+                    .collect(),
+            )
+        } else {
+            None
+        };
 
         let mut sim = Simulator {
             cfg,
@@ -328,9 +355,27 @@ impl Simulator {
             next_packet_id: 0,
             mtu_tx,
             auth_delay,
+            faults,
         };
         sim.prime();
         sim
+    }
+
+    /// Fate of one packet crossing directed link `link` (clean delivery
+    /// when the fault layer is disabled).
+    fn link_fault(&mut self, link: usize) -> FaultOutcome {
+        match &mut self.faults {
+            Some(inj) => inj[link].decide(),
+            None => FaultOutcome::Deliver {
+                corrupt: false,
+                extra_delay_ps: 0,
+            },
+        }
+    }
+
+    /// Injector index for the output `port` of `switch`.
+    fn switch_link(&self, switch: usize, port: usize) -> usize {
+        self.topo.num_switches() + switch * self.cfg.ports_per_switch + port
     }
 
     /// Schedule the initial traffic and attack-epoch events.
@@ -549,6 +594,7 @@ impl Simulator {
             gen_time: self.now,
             inject_time: 0,
             trap: None,
+            corrupted: false,
         };
         // QP-level key management: first contact with a peer pays one RTT
         // before the packet may leave (§4.3 / Figure 6).
@@ -590,6 +636,7 @@ impl Simulator {
             gen_time: self.now,
             inject_time: 0,
             trap,
+            corrupted: false,
         };
         self.hcas[src].send_q[15].push_back((packet, self.now));
         self.schedule_inject(src, self.now);
@@ -643,14 +690,37 @@ impl Simulator {
         packet.inject_time = start;
         let tx_end = start + tx_time_ps(packet.bytes, self.cfg.link_gbps);
         self.hcas[node].tx_busy_until = tx_end;
-        self.queue.push(
-            tx_end + self.cfg.propagation_delay,
-            Event::SwitchArrive {
-                switch: node,
-                port: PORT_HOST,
-                packet,
-            },
-        );
+        let arrival = tx_end + self.cfg.propagation_delay;
+        match self.link_fault(node) {
+            FaultOutcome::Drop => {
+                // The switch never sees the packet, so it can't return the
+                // buffer credit — model the slot as freeing on arrival.
+                self.stats.link_drops += 1;
+                self.class_stats(packet.class).dropped += 1;
+                self.queue.push(
+                    arrival,
+                    Event::HcaCredit {
+                        node,
+                        vl: packet.vl,
+                    },
+                );
+            }
+            FaultOutcome::Deliver {
+                corrupt,
+                extra_delay_ps,
+            } => {
+                let mut packet = packet;
+                packet.corrupted |= corrupt;
+                self.queue.push(
+                    arrival + extra_delay_ps,
+                    Event::SwitchArrive {
+                        switch: node,
+                        port: PORT_HOST,
+                        packet,
+                    },
+                );
+            }
+        }
         // Re-evaluate once the link frees.
         self.schedule_inject(node, tx_end);
     }
@@ -778,20 +848,56 @@ impl Simulator {
                 port: next_port,
             } => {
                 self.switches[switch].out_credits[out_port][vl] -= 1;
-                self.queue.push(
-                    tx_end + self.cfg.propagation_delay,
-                    Event::SwitchArrive {
-                        switch: next,
-                        port: next_port,
-                        packet,
-                    },
-                );
+                let arrival = tx_end + self.cfg.propagation_delay;
+                match self.link_fault(self.switch_link(switch, out_port)) {
+                    FaultOutcome::Drop => {
+                        // Downstream never sees the packet; its buffer slot
+                        // credit comes back as if freed on arrival.
+                        self.stats.link_drops += 1;
+                        self.class_stats(packet.class).dropped += 1;
+                        self.queue.push(
+                            arrival,
+                            Event::SwitchCredit {
+                                switch,
+                                port: out_port,
+                                vl: vl as u8,
+                            },
+                        );
+                    }
+                    FaultOutcome::Deliver {
+                        corrupt,
+                        extra_delay_ps,
+                    } => {
+                        let mut packet = packet;
+                        packet.corrupted |= corrupt;
+                        self.queue.push(
+                            arrival + extra_delay_ps,
+                            Event::SwitchArrive {
+                                switch: next,
+                                port: next_port,
+                                packet,
+                            },
+                        );
+                    }
+                }
             }
             Peer::Hca { node } => {
-                self.queue.push(
-                    tx_end + self.cfg.propagation_delay,
-                    Event::HcaReceive { node, packet },
-                );
+                let arrival = tx_end + self.cfg.propagation_delay;
+                match self.link_fault(self.switch_link(switch, out_port)) {
+                    FaultOutcome::Drop => {
+                        self.stats.link_drops += 1;
+                        self.class_stats(packet.class).dropped += 1;
+                    }
+                    FaultOutcome::Deliver {
+                        corrupt,
+                        extra_delay_ps,
+                    } => {
+                        let mut packet = packet;
+                        packet.corrupted |= corrupt;
+                        self.queue
+                            .push(arrival + extra_delay_ps, Event::HcaReceive { node, packet });
+                    }
+                }
             }
             Peer::None => unreachable!("routing never selects an edge port"),
         }
@@ -833,6 +939,13 @@ impl Simulator {
     // ------------------------------------------------------------- receiving
 
     fn on_hca_receive(&mut self, node: usize, packet: SimPacket) {
+        // Bit flips in transit fail the CRC check before anything else
+        // looks at the packet (VCRC/ICRC precede all header processing).
+        if packet.corrupted {
+            self.stats.corrupt_drops += 1;
+            self.class_stats(packet.class).dropped += 1;
+            return;
+        }
         // Management datagrams: no partition check, no data statistics.
         if packet.vl == 15 {
             self.stats.mgmt_delivered += 1;
@@ -1233,6 +1346,57 @@ mod tests {
         assert_eq!(report.hca_blocked, 0, "no P_Key check applies");
         // VL15 isolation: data traffic keeps flowing.
         assert!(report.best_effort.delivered > 100);
+    }
+
+    #[test]
+    fn fault_free_runs_report_no_fault_drops() {
+        let r = Simulator::new(quick_cfg()).run();
+        assert_eq!(r.link_drops, 0);
+        assert_eq!(r.corrupt_drops, 0);
+    }
+
+    #[test]
+    fn fault_injection_drops_and_corrupts_deterministically() {
+        let run = || {
+            let mut cfg = quick_cfg();
+            cfg.fault = crate::fault::FaultConfig {
+                drop_prob: 0.05,
+                corrupt_prob: 0.02,
+                reorder_prob: 0.02,
+                reorder_delay_ps: 20 * US,
+            };
+            Simulator::new(cfg).run()
+        };
+        let a = run();
+        assert!(a.link_drops > 0, "5% drop must fire: {}", a.link_drops);
+        assert!(a.corrupt_drops > 0, "2% corrupt must fire");
+        // Traffic still flows around the losses.
+        assert!(a.realtime.delivered > 100);
+        assert!(a.best_effort.delivered > 100);
+        // Lossy runs replay bit-identically.
+        let b = run();
+        assert_eq!(a.link_drops, b.link_drops);
+        assert_eq!(a.corrupt_drops, b.corrupt_drops);
+        assert_eq!(a.realtime.delivered, b.realtime.delivered);
+        assert!((a.legit_queuing_mean() - b.legit_queuing_mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_drops_do_not_leak_credits() {
+        // Heavy loss + long run: if a drop ate a credit, injection would
+        // eventually wedge and deliveries would collapse. Compare against
+        // the loss-free run: deliveries must stay the same order of
+        // magnitude (only the dropped fraction is missing).
+        let mut cfg = quick_cfg();
+        cfg.fault.drop_prob = 0.10;
+        let lossy = Simulator::new(cfg).run();
+        let clean = Simulator::new(quick_cfg()).run();
+        let lossy_total = lossy.realtime.delivered + lossy.best_effort.delivered;
+        let clean_total = clean.realtime.delivered + clean.best_effort.delivered;
+        assert!(
+            lossy_total as f64 > clean_total as f64 * 0.5,
+            "lossy {lossy_total} vs clean {clean_total}: credits leaked?"
+        );
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct SimPacket {
     pub inject_time: SimTime,
     /// For in-band management packets: the trap notice carried in the MAD.
     pub trap: Option<Trap>,
+    /// Set when the fault layer flipped bits in transit; the destination
+    /// HCA's CRC check discards the packet on arrival.
+    pub corrupted: bool,
 }
 
 /// Events the engine processes.

@@ -31,6 +31,7 @@
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod time;
 pub mod topology;
@@ -38,6 +39,7 @@ pub mod traffic;
 
 pub use config::{ArbitrationPolicy, AttackKeys, AuthMode, SimConfig, TrafficConfig};
 pub use engine::{SimReport, Simulator};
+pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
 pub use metrics::{ClassStats, OnlineStats};
 pub use time::{SimTime, BYTE_TIME_PS, NS, PS, US};
 pub use topology::MeshTopology;

@@ -1,0 +1,110 @@
+//! RC transport knobs, JSON round-trippable so experiment configs embed
+//! them next to the [`ib_sim::SimConfig`] they ride with.
+
+use ib_runtime::{Json, ToJson};
+use ib_sim::time::{MS, US};
+use ib_sim::SimTime;
+
+/// Reliable-connection transport parameters.
+///
+/// The one security-critical field is [`window`](RcConfig::window): it
+/// must not exceed the receive channel's replay-window depth, or a
+/// genuine retransmit could age out of the window and be rejected as
+/// stale. [`crate::endpoint::SecureRcEndpoint::new`] asserts this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcConfig {
+    /// Maximum unacknowledged packets in flight (send window).
+    pub window: u32,
+    /// Initial retransmission timeout, ps.
+    pub rto: SimTime,
+    /// Cap on the exponentially backed-off RTO, ps.
+    pub rto_max: SimTime,
+    /// Consecutive timeouts without forward progress before the QP goes
+    /// to the error (dead) state.
+    pub max_retries: u32,
+    /// Coalesce ACKs: acknowledge every n-th in-order packet immediately…
+    pub ack_coalesce: u32,
+    /// …and any straggler after this delay, ps.
+    pub ack_delay: SimTime,
+    /// Receiver-not-ready back-off the RNR NAK asks the sender to wait, ps.
+    pub rnr_timer: SimTime,
+    /// First PSN of the connection.
+    pub initial_psn: u32,
+    /// Receive-side buffer budget (messages held undrained before the
+    /// receiver answers RNR NAK).
+    pub rx_capacity: usize,
+}
+
+impl Default for RcConfig {
+    fn default() -> Self {
+        RcConfig {
+            window: 32,
+            rto: 100 * US,
+            rto_max: 2 * MS,
+            max_retries: 10,
+            ack_coalesce: 4,
+            ack_delay: 10 * US,
+            rnr_timer: 50 * US,
+            initial_psn: 0,
+            rx_capacity: 1024,
+        }
+    }
+}
+
+impl RcConfig {
+    /// JSON object form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("window", self.window.to_json()),
+            ("rto_ps", self.rto.to_json()),
+            ("rto_max_ps", self.rto_max.to_json()),
+            ("max_retries", self.max_retries.to_json()),
+            ("ack_coalesce", self.ack_coalesce.to_json()),
+            ("ack_delay_ps", self.ack_delay.to_json()),
+            ("rnr_timer_ps", self.rnr_timer.to_json()),
+            ("initial_psn", self.initial_psn.to_json()),
+            ("rx_capacity", (self.rx_capacity as u64).to_json()),
+        ])
+    }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(v: &Json) -> Option<RcConfig> {
+        Some(RcConfig {
+            window: v.get("window")?.as_u64()? as u32,
+            rto: v.get("rto_ps")?.as_u64()?,
+            rto_max: v.get("rto_max_ps")?.as_u64()?,
+            max_retries: v.get("max_retries")?.as_u64()? as u32,
+            ack_coalesce: v.get("ack_coalesce")?.as_u64()? as u32,
+            ack_delay: v.get("ack_delay_ps")?.as_u64()?,
+            rnr_timer: v.get("rnr_timer_ps")?.as_u64()?,
+            initial_psn: v.get("initial_psn")?.as_u64()? as u32,
+            rx_capacity: v.get("rx_capacity")?.as_u64()? as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_fit_replay_window() {
+        let cfg = RcConfig::default();
+        assert!(cfg.window <= 64, "send window must fit the replay window");
+        assert!(cfg.rto < cfg.rto_max);
+        assert!(cfg.ack_coalesce >= 1);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cfg = RcConfig {
+            window: 16,
+            rto: 7 * US,
+            initial_psn: 0xFF_FFF0,
+            ..RcConfig::default()
+        };
+        let text = cfg.to_json().to_string();
+        let back = RcConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,522 @@
+//! [`SecureRcEndpoint`]: one side of a reliable connection, wiring the
+//! [`crate::qp::RcQp`] state machine to an [`ib_security::SecureChannel`].
+//!
+//! ## Ordering discipline (who judges what, and in what order)
+//!
+//! The replay window's bitmap must stay strictly in **delivery order** or
+//! its verdicts stop meaning "was this PSN delivered?". The endpoint
+//! therefore classifies every data packet against the transport's
+//! expected PSN *before* the channel sees it:
+//!
+//! * **Ahead** of expected → a gap; NAK and drop *without* touching the
+//!   replay window. If the window recorded the packet now, the in-order
+//!   retransmit that go-back-N is about to produce would read as a
+//!   duplicate and the message would never be delivered.
+//! * **In order** → check receive-buffer budget first (an RNR'd packet
+//!   must not be recorded either — it was not delivered), then
+//!   [`SecureChannel::admit`]: `Fresh` delivers, and only then does the
+//!   window remember the PSN.
+//! * **Behind** expected → some already-received PSN. The transport
+//!   re-ACKs (cumulative ACKs are idempotent; a sender whose ACK was
+//!   lost needs this), but **delivery** is the channel's call. With the
+//!   replay window the verdict is `Duplicate` — suppressed. Without it
+//!   the packet verifies and walks in as `Fresh`: that admission is the
+//!   §7 vulnerability, counted in [`EndpointStats::dup_admitted_fresh`].
+//!
+//! Why not let the transport's expected-PSN comparison do the
+//! suppressing? Because it is not a security boundary: the PSN ring is
+//! 24 bits, so over a connection's lifetime a captured packet's PSN
+//! comes back around and classifies as Ahead or InOrder again, and the
+//! half-ring Behind test cannot distinguish "delivered long ago" from
+//! "never existed". The replay window's bounded, delivered-vs-lost
+//! bitmap is the sound mechanism; the experiment measures exactly what
+//! happens when it is absent.
+//!
+//! ## ACKs are verified but not windowed
+//!
+//! Acknowledgment packets pass [`SecureChannel::verify_only`] — MAC
+//! checked, replay window untouched. A replayed cumulative ACK is
+//! idempotent (it acknowledges a prefix the sender already advanced
+//! past), and ACK PSNs live in the *data* sequence space, so feeding
+//! them to the data window would poison it.
+
+use std::collections::VecDeque;
+
+use ib_mgmt::keymgmt::SecretKey;
+use ib_packet::types::{Lid, PKey, Psn, Qpn};
+use ib_packet::{Aeth, AethKind, NakCode, OpCode, Packet, PacketBuilder};
+use ib_security::{Admit, ChannelSecurity, SecureChannel};
+use ib_sim::SimTime;
+
+use crate::config::RcConfig;
+use crate::qp::{RcQp, RxClass, RxReply, TxItem};
+
+/// RNR timer code placed in the AETH (the 5-bit IBA encoding is a table
+/// lookup; both ends of this connection share an [`RcConfig`], so the
+/// code is advisory and the sender backs off by `cfg.rnr_timer`).
+const RNR_TIMER_CODE: u8 = 0;
+
+/// Per-endpoint transport/security counters (the fig_replay metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Messages delivered to the application for the first time.
+    pub delivered: u64,
+    /// Behind-expected packets the channel suppressed as duplicates
+    /// (lost-ACK retransmits and attacker replays alike).
+    pub dup_suppressed: u64,
+    /// Behind-expected packets the channel admitted as `Fresh` — already
+    /// -received data delivered *again*. Zero whenever the replay window
+    /// is on; the replay-attack success count when it is off.
+    pub dup_admitted_fresh: u64,
+    /// Ahead-of-expected packets dropped (go-back-N gaps).
+    pub gap_drops: u64,
+    /// Wire buffers that failed to parse (corruption caught by the VCRC).
+    pub parse_drops: u64,
+    /// ACK/NAK/RNR packets processed.
+    pub acks_rx: u64,
+    /// RNR NAKs sent because the receive buffer was full.
+    pub rnr_sent: u64,
+}
+
+/// One side of a secure reliable connection: post messages, shuttle wire
+/// buffers, take delivered messages.
+pub struct SecureRcEndpoint {
+    lid: Lid,
+    peer_lid: Lid,
+    qpn: Qpn,
+    pkey: PKey,
+    channel: SecureChannel,
+    qp: RcQp,
+    outbox: VecDeque<Vec<u8>>,
+    delivered: VecDeque<Vec<u8>>,
+    /// Transport/security counters, readable at any time.
+    pub stats: EndpointStats,
+}
+
+impl SecureRcEndpoint {
+    /// Build an endpoint. `replay_window` is the channel's window depth
+    /// under [`ChannelSecurity::AuthReplay`].
+    ///
+    /// # Panics
+    ///
+    /// If the transport send window exceeds the replay window: a genuine
+    /// retransmit could then age out of the window and be rejected as
+    /// stale, breaking reliable delivery.
+    #[allow(clippy::too_many_arguments)] // a connection is genuinely this wide
+    pub fn new(
+        security: ChannelSecurity,
+        pkey: PKey,
+        secret: SecretKey,
+        replay_window: u32,
+        cfg: RcConfig,
+        lid: Lid,
+        peer_lid: Lid,
+        qpn: Qpn,
+    ) -> Self {
+        let channel = SecureChannel::new(security, pkey, secret, replay_window);
+        if let Some(depth) = channel.window_depth() {
+            assert!(
+                cfg.window <= depth,
+                "send window {} exceeds replay window {depth}: retransmits could go stale",
+                cfg.window
+            );
+        }
+        SecureRcEndpoint {
+            lid,
+            peer_lid,
+            qpn,
+            pkey,
+            channel,
+            qp: RcQp::new(cfg),
+            outbox: VecDeque::new(),
+            delivered: VecDeque::new(),
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// Queue a message for reliable, authenticated delivery to the peer.
+    pub fn post(&mut self, payload: Vec<u8>) {
+        self.qp.post(payload);
+    }
+
+    /// True when every posted message has been sent and acknowledged.
+    pub fn tx_idle(&self) -> bool {
+        self.qp.tx_idle()
+    }
+
+    /// True when the sender exhausted its retries (QP error state).
+    pub fn failed(&self) -> bool {
+        self.qp.is_dead()
+    }
+
+    /// Total retransmissions performed by this endpoint's sender half.
+    pub fn retransmits(&self) -> u64 {
+        self.qp.retransmits
+    }
+
+    /// The security channel (for its admission counters).
+    pub fn channel(&self) -> &SecureChannel {
+        &self.channel
+    }
+
+    /// Earliest instant this endpoint needs a timer wake-up.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.qp.next_deadline()
+    }
+
+    /// Drain messages delivered since the last call, releasing their
+    /// receive-buffer slots.
+    pub fn take_delivered(&mut self) -> Vec<Vec<u8>> {
+        let out: Vec<Vec<u8>> = self.delivered.drain(..).collect();
+        for _ in &out {
+            self.qp.rx_release();
+        }
+        out
+    }
+
+    /// Run timers and collect every wire buffer this endpoint wants to
+    /// transmit now: queued ACK traffic first, then window-permitted data.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Vec<u8>> {
+        // Retransmission timer: a rewind makes poll_tx below re-emit.
+        self.qp.on_timeout(now);
+        // Delayed-ACK timer.
+        if let Some(reply) = self.qp.poll_ack(now) {
+            self.queue_reply(reply);
+        }
+        let mut out: Vec<Vec<u8>> = self.outbox.drain(..).collect();
+        while let Some(item) = self.qp.poll_tx(now) {
+            out.push(self.build_data(&item));
+        }
+        out
+    }
+
+    /// Process one arriving wire buffer.
+    pub fn handle_wire(&mut self, now: SimTime, bytes: &[u8]) {
+        let Ok(packet) = Packet::parse(bytes) else {
+            self.stats.parse_drops += 1;
+            return;
+        };
+        if packet.aeth.is_some() {
+            self.handle_ack(now, &packet);
+        } else {
+            self.handle_data(now, &packet);
+        }
+    }
+
+    fn handle_ack(&mut self, now: SimTime, packet: &Packet) {
+        if self.channel.verify_only(packet).is_err() {
+            return; // forged or corrupted ACK: counted in channel stats
+        }
+        let Some(kind) = packet.aeth.as_ref().and_then(Aeth::kind) else {
+            self.stats.parse_drops += 1; // reserved syndrome encoding
+            return;
+        };
+        self.stats.acks_rx += 1;
+        let psn = packet.bth.psn.0;
+        match kind {
+            AethKind::Ack { .. } => self.qp.on_ack(now, psn),
+            AethKind::Nak(NakCode::PsnSequenceError) => self.qp.on_nak(now, psn),
+            // The fatal NAK classes put a real QP in the error state; this
+            // transport never generates them, so treat as unhandled.
+            AethKind::Nak(_) => {}
+            AethKind::Rnr { .. } => {
+                let delay = self.qp.config().rnr_timer;
+                self.qp.on_rnr(now, psn, delay);
+            }
+        }
+    }
+
+    fn handle_data(&mut self, now: SimTime, packet: &Packet) {
+        let psn = packet.bth.psn.0;
+        match self.qp.rx_classify(psn) {
+            RxClass::Ahead => {
+                // Gap: never shown to the replay window (see module docs).
+                self.stats.gap_drops += 1;
+                if let Some(reply) = self.qp.rx_gap() {
+                    self.queue_reply(reply);
+                }
+            }
+            RxClass::InOrder => {
+                if !self.qp.rx_has_budget() {
+                    // Not deliverable, so not recorded: the retransmit
+                    // after the RNR back-off must still verdict Fresh.
+                    self.stats.rnr_sent += 1;
+                    let reply = self.qp.rx_not_ready();
+                    self.queue_reply(reply);
+                    return;
+                }
+                match self.channel.admit(packet) {
+                    Ok(Admit::Fresh) => {
+                        self.qp.rx_reserve();
+                        self.delivered.push_back(packet.payload.clone());
+                        self.stats.delivered += 1;
+                        if let Some(reply) = self.qp.rx_accept(now) {
+                            self.queue_reply(reply);
+                        }
+                    }
+                    Ok(Admit::Duplicate) => {
+                        // The window saw this PSN although the transport
+                        // did not: advance past it without re-delivering.
+                        self.stats.dup_suppressed += 1;
+                        if let Some(reply) = self.qp.rx_accept(now) {
+                            self.queue_reply(reply);
+                        }
+                    }
+                    Err(_) => {} // counted in channel stats
+                }
+            }
+            RxClass::Behind => {
+                match self.channel.admit(packet) {
+                    Ok(Admit::Fresh) => {
+                        // No replay window to remember the delivery: an
+                        // already-received packet is delivered AGAIN. This
+                        // is the replay attack succeeding.
+                        self.stats.dup_admitted_fresh += 1;
+                        self.qp.rx_reserve();
+                        self.delivered.push_back(packet.payload.clone());
+                        let reply = self.qp.rx_duplicate();
+                        self.queue_reply(reply);
+                    }
+                    Ok(Admit::Duplicate) => {
+                        // Lost-ACK retransmit or attacker replay — either
+                        // way: suppress, re-ACK so the sender moves on.
+                        self.stats.dup_suppressed += 1;
+                        let reply = self.qp.rx_duplicate();
+                        self.queue_reply(reply);
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+
+    fn build_data(&self, item: &TxItem) -> Vec<u8> {
+        let mut packet = PacketBuilder::new(OpCode::RC_SEND_ONLY)
+            .slid(self.lid)
+            .dlid(self.peer_lid)
+            .pkey(self.pkey)
+            .dest_qp(self.qpn)
+            .psn(Psn(item.psn))
+            .payload(item.payload.clone())
+            .build();
+        // A retransmit rebuilds byte-identical content under the original
+        // PSN, so the seal produces the identical nonce and tag: on the
+        // wire it is indistinguishable from an attacker's replay.
+        self.channel
+            .seal(&mut packet)
+            .expect("partition secret installed at construction");
+        packet.to_bytes()
+    }
+
+    fn queue_reply(&mut self, reply: RxReply) {
+        let (psn, aeth) = match reply {
+            RxReply::Ack { psn, msn } => (psn, Aeth::ack(msn)),
+            RxReply::Nak { psn, msn } => (psn, Aeth::nak(NakCode::PsnSequenceError, msn)),
+            RxReply::Rnr { psn, msn } => (psn, Aeth::rnr(RNR_TIMER_CODE, msn)),
+        };
+        let mut packet = PacketBuilder::new(OpCode::RC_ACKNOWLEDGE)
+            .slid(self.lid)
+            .dlid(self.peer_lid)
+            .pkey(self.pkey)
+            .dest_qp(self.qpn)
+            .psn(Psn(psn))
+            .ack(aeth.syndrome, aeth.msn)
+            .build();
+        self.channel
+            .seal(&mut packet)
+            .expect("partition secret installed at construction");
+        self.outbox.push_back(packet.to_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_sim::time::US;
+
+    const PKEY: PKey = PKey(0x8001);
+
+    fn pair(security: ChannelSecurity, cfg: RcConfig) -> (SecureRcEndpoint, SecureRcEndpoint) {
+        let secret = SecretKey::from_seed(99);
+        let a = SecureRcEndpoint::new(security, PKEY, secret, 64, cfg, Lid(1), Lid(2), Qpn(7));
+        let b = SecureRcEndpoint::new(security, PKEY, secret, 64, cfg, Lid(2), Lid(1), Qpn(7));
+        (a, b)
+    }
+
+    /// Shuttle wire buffers both ways until neither side has anything to
+    /// say, advancing time to the earliest pending deadline when idle.
+    fn pump(a: &mut SecureRcEndpoint, b: &mut SecureRcEndpoint, start: SimTime) -> SimTime {
+        let mut now = start;
+        for _ in 0..10_000 {
+            let a_out = a.poll(now);
+            let b_out = b.poll(now);
+            if a_out.is_empty() && b_out.is_empty() {
+                // Nothing on the wire: jump to the earliest timer, or stop
+                // when no timer is armed either.
+                match a.next_deadline().into_iter().chain(b.next_deadline()).min() {
+                    Some(next) => {
+                        now = next;
+                        continue;
+                    }
+                    None => return now,
+                }
+            }
+            for bytes in a_out {
+                b.handle_wire(now, &bytes);
+            }
+            for bytes in b_out {
+                a.handle_wire(now, &bytes);
+            }
+            now += US;
+            if a.tx_idle()
+                && b.tx_idle()
+                && a.next_deadline().is_none()
+                && b.next_deadline().is_none()
+            {
+                return now;
+            }
+        }
+        panic!("pump did not converge");
+    }
+
+    #[test]
+    fn lossless_delivery_all_arms() {
+        for arm in ChannelSecurity::ALL {
+            let (mut a, mut b) = pair(arm, RcConfig::default());
+            for i in 0..20u8 {
+                a.post(vec![i; 32]);
+            }
+            pump(&mut a, &mut b, 0);
+            let got = b.take_delivered();
+            assert_eq!(got.len(), 20, "{arm:?}");
+            assert!(got.iter().enumerate().all(|(i, m)| m[0] == i as u8));
+            assert!(a.tx_idle());
+            assert_eq!(b.stats.dup_admitted_fresh, 0);
+        }
+    }
+
+    #[test]
+    fn dropped_packet_recovers_via_nak_with_original_psn() {
+        let (mut a, mut b) = pair(ChannelSecurity::AuthReplay, RcConfig::default());
+        for i in 0..4u8 {
+            a.post(vec![i]);
+        }
+        let wire = a.poll(0);
+        assert_eq!(wire.len(), 4);
+        // Lose PSN 1 on the wire; 0, 2, 3 arrive.
+        for (i, bytes) in wire.iter().enumerate() {
+            if i != 1 {
+                b.handle_wire(0, bytes);
+            }
+        }
+        // Receiver NAKed for PSN 1; finish the exchange losslessly.
+        pump(&mut a, &mut b, US);
+        let got = b.take_delivered();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[1], vec![1u8], "retransmit delivered in order");
+        assert!(a.retransmits() > 0);
+        assert_eq!(b.stats.gap_drops, 2, "PSNs 2 and 3 hit the gap");
+        assert_eq!(b.stats.dup_admitted_fresh, 0);
+    }
+
+    #[test]
+    fn replay_of_delivered_suppressed_only_with_window() {
+        for arm in ChannelSecurity::ALL {
+            let (mut a, mut b) = pair(arm, RcConfig::default());
+            a.post(b"secret payment".to_vec());
+            let wire = a.poll(0);
+            let captured = wire[0].clone();
+            b.handle_wire(0, &captured);
+            assert_eq!(b.take_delivered().len(), 1);
+            // Attacker replays the captured, perfectly-valid bytes.
+            b.handle_wire(10 * US, &captured);
+            let redelivered = b.take_delivered().len() as u64;
+            match arm {
+                ChannelSecurity::AuthReplay => {
+                    assert_eq!(b.stats.dup_admitted_fresh, 0, "{arm:?}");
+                    assert_eq!(redelivered, 0);
+                    assert_eq!(b.stats.dup_suppressed, 1);
+                }
+                ChannelSecurity::NoAuth | ChannelSecurity::Auth => {
+                    assert_eq!(b.stats.dup_admitted_fresh, 1, "{arm:?}");
+                    assert_eq!(redelivered, 1, "replay delivered twice");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_retransmit_of_undelivered_is_fresh() {
+        let (mut a, mut b) = pair(ChannelSecurity::AuthReplay, RcConfig::default());
+        a.post(b"only copy".to_vec());
+        let wire = a.poll(0);
+        assert_eq!(wire.len(), 1);
+        // The packet is lost entirely: receiver saw nothing, no NAK comes.
+        // The retransmission timer must recover it.
+        let deadline = a.next_deadline().unwrap();
+        let wire = a.poll(deadline);
+        assert_eq!(wire.len(), 1, "timer fired, go-back-N re-emitted");
+        b.handle_wire(deadline, &wire[0]);
+        assert_eq!(b.take_delivered().len(), 1, "retransmit verdicts Fresh");
+        assert_eq!(b.stats.dup_admitted_fresh, 0);
+        assert!(a.retransmits() >= 1);
+    }
+
+    #[test]
+    fn rnr_backpressure_recovers_without_window_pollution() {
+        let cfg = RcConfig {
+            rx_capacity: 1,
+            ack_coalesce: 1,
+            ..RcConfig::default()
+        };
+        let (mut a, mut b) = pair(ChannelSecurity::AuthReplay, cfg);
+        a.post(vec![1]);
+        a.post(vec![2]);
+        for bytes in a.poll(0) {
+            b.handle_wire(0, &bytes);
+        }
+        // Slot 1 took the first message; the second drew an RNR NAK.
+        assert_eq!(b.stats.rnr_sent, 1);
+        for bytes in b.poll(0) {
+            a.handle_wire(0, &bytes);
+        }
+        // Sender pauses, app drains, retransmit after back-off delivers.
+        assert!(a.poll(US).is_empty(), "RNR back-off holds the sender");
+        assert_eq!(b.take_delivered(), vec![vec![1u8]]);
+        pump(&mut a, &mut b, US);
+        assert_eq!(b.take_delivered(), vec![vec![2u8]]);
+        assert_eq!(b.stats.dup_admitted_fresh, 0, "RNR'd PSN never recorded");
+    }
+
+    #[test]
+    fn corrupted_wire_buffer_is_counted_and_dropped() {
+        let (mut a, mut b) = pair(ChannelSecurity::Auth, RcConfig::default());
+        a.post(vec![9; 64]);
+        let mut wire = a.poll(0);
+        let mid = wire[0].len() / 2;
+        wire[0][mid] ^= 0xFF;
+        b.handle_wire(0, &wire[0]);
+        assert_eq!(b.stats.parse_drops, 1, "VCRC catches the flip at parse");
+        assert!(b.take_delivered().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds replay window")]
+    fn oversized_send_window_rejected() {
+        let cfg = RcConfig {
+            window: 128,
+            ..RcConfig::default()
+        };
+        let secret = SecretKey::from_seed(1);
+        SecureRcEndpoint::new(
+            ChannelSecurity::AuthReplay,
+            PKEY,
+            secret,
+            64,
+            cfg,
+            Lid(1),
+            Lid(2),
+            Qpn(7),
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # ib-transport
+//!
+//! An IBA Reliable Connection (RC) transport layered on the paper's
+//! secure receive path, closing the loop the §7 replay defense opens:
+//! a reliable transport *legitimately* retransmits packets under their
+//! **original PSN** (IBA §9.7.5.1.1), so a genuine retransmit is
+//! byte-identical — nonce, MAC tag and all — to an attacker's replay.
+//! This crate builds the sender/receiver machinery that makes the
+//! distinction operational:
+//!
+//! * [`qp`] — the RC queue-pair state machine: PSN assignment, a bounded
+//!   in-flight window, cumulative ACKs with coalescing, NAK(PSN sequence
+//!   error) triggering go-back-N, RNR back-off, and retransmission on
+//!   timeout with exponential back-off up to a retry-exhausted dead state.
+//! * [`endpoint`] — [`endpoint::SecureRcEndpoint`] marries an
+//!   [`qp::RcQp`] to an [`ib_security::SecureChannel`]: data packets are
+//!   sealed (tagged) once per PSN so retransmits reproduce identical
+//!   bytes, and inbound packets pass transport-order classification
+//!   *before* the replay window so the window's bitmap stays strictly
+//!   in delivery order.
+//! * [`sim`] — a two-endpoint discrete-event harness over lossy links
+//!   ([`ib_sim::FaultConfig`]) with an on-path attacker replaying
+//!   captured data packets; produces the fig_replay metrics (goodput,
+//!   delivery latency, retransmits, replays admitted).
+//! * [`config`] — [`config::RcConfig`] knobs with JSON round-tripping.
+//!
+//! The invariant that keeps retransmission and replay defense compatible:
+//! the transport's in-flight window never exceeds the replay window
+//! depth, so a retransmit of an undelivered PSN is always still
+//! judgeable ([`ib_security::ReplayVerdict::Fresh`]) when it lands.
+
+pub mod config;
+pub mod endpoint;
+pub mod qp;
+pub mod sim;
+
+pub use config::RcConfig;
+pub use endpoint::{EndpointStats, SecureRcEndpoint};
+pub use qp::{RcQp, RxClass, RxReply, TxItem};
+pub use sim::{run_replay_sim, ReplayReport, ReplaySimConfig};

@@ -1,0 +1,611 @@
+//! The RC queue-pair state machine, both halves.
+//!
+//! **Sender**: posts become PSN-numbered transmissions inside a bounded
+//! in-flight window. Cumulative ACKs release the window; a NAK(PSN
+//! sequence error) or a retransmission timeout rewinds the go-back-N
+//! cursor to the oldest unacknowledged packet. Timeouts back off
+//! exponentially; too many without progress and the QP enters the dead
+//! (retry-exhausted) state, IBA's QP error state.
+//!
+//! **Receiver**: tracks the expected PSN. In-order packets advance it and
+//! feed the ACK coalescer; a packet *ahead* of expected signals a gap and
+//! draws one NAK per gap; a packet *behind* is a duplicate (lost-ACK
+//! retransmit or replay — the transport cannot tell, and [`crate::endpoint`]
+//! explains why it does not need to) and draws an immediate re-ACK. When
+//! the receive buffer is exhausted the receiver answers RNR NAK instead
+//! of silently dropping.
+//!
+//! Retransmissions reuse the **original PSN** — [`TxItem::psn`] is fixed
+//! at first transmission. That single fact is what makes the replay
+//! window's delivered-vs-lost distinction (see [`ib_security::channel`])
+//! the only sound dedup criterion.
+
+use std::collections::VecDeque;
+
+use ib_sim::SimTime;
+
+use crate::config::RcConfig;
+
+/// PSNs are 24-bit, wrapping.
+pub const PSN_MASK: u32 = 0x00FF_FFFF;
+/// Half the PSN space: the ahead/behind decision threshold.
+pub const PSN_HALF: u32 = 1 << 23;
+
+/// `psn + n` in the 24-bit ring.
+pub fn psn_add(psn: u32, n: u32) -> u32 {
+    psn.wrapping_add(n) & PSN_MASK
+}
+
+/// Forward distance from `from` to `to` in the 24-bit ring.
+pub fn psn_sub(to: u32, from: u32) -> u32 {
+    to.wrapping_sub(from) & PSN_MASK
+}
+
+/// True when `a` is strictly ahead of `b` by less than half the ring
+/// (the IBA shortest-distance rule, wrap-safe).
+pub fn psn_ahead(a: u32, b: u32) -> bool {
+    a != b && psn_sub(a, b) < PSN_HALF
+}
+
+/// One transmission the sender half asks the wire layer to carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxItem {
+    /// The packet's PSN — original on retransmit, never renumbered.
+    pub psn: u32,
+    /// Message payload.
+    pub payload: Vec<u8>,
+    /// True when this PSN has been on the wire before.
+    pub retransmit: bool,
+}
+
+/// Where an arriving data PSN sits relative to the receiver's expectation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxClass {
+    /// Exactly the expected PSN: deliverable.
+    InOrder,
+    /// Older than expected: duplicate of something already received.
+    Behind,
+    /// Newer than expected: a gap — something in between was lost.
+    Ahead,
+}
+
+/// Acknowledgment traffic the receiver half wants sent back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxReply {
+    /// Cumulative ACK: everything through `psn` has been received.
+    Ack { psn: u32, msn: u32 },
+    /// NAK(PSN sequence error): resume from `psn` (the expected PSN).
+    Nak { psn: u32, msn: u32 },
+    /// Receiver not ready: retry `psn` after the RNR timer.
+    Rnr { psn: u32, msn: u32 },
+}
+
+/// What a retransmission-timer expiry produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutAction {
+    /// Deadline not reached or nothing outstanding.
+    None,
+    /// Go-back-N rewound; the next [`RcQp::poll_tx`] calls retransmit.
+    Rewind,
+    /// Retries exhausted: the QP is dead (IBA error state).
+    Failed,
+}
+
+/// Both halves of one RC queue pair.
+#[derive(Debug)]
+pub struct RcQp {
+    cfg: RcConfig,
+
+    // ---- sender half ----
+    pending: VecDeque<Vec<u8>>,
+    in_flight: VecDeque<TxItem>,
+    next_psn: u32,
+    /// Index into `in_flight` of the next packet to (re)transmit. Equal to
+    /// `in_flight.len()` when everything outstanding is already on the wire.
+    resend_cursor: usize,
+    rto_deadline: Option<SimTime>,
+    backoff_exp: u32,
+    retries: u32,
+    rnr_until: Option<SimTime>,
+    dead: bool,
+    /// Total retransmissions performed (fig_replay metric).
+    pub retransmits: u64,
+
+    // ---- receiver half ----
+    expected_psn: u32,
+    /// Messages received in order (the AETH MSN, 24-bit).
+    msn: u32,
+    since_ack: u32,
+    ack_deadline: Option<SimTime>,
+    nak_outstanding: bool,
+    rx_in_use: usize,
+}
+
+impl RcQp {
+    /// A fresh QP; both directions start at `cfg.initial_psn`.
+    pub fn new(cfg: RcConfig) -> Self {
+        assert!(cfg.window >= 1, "send window must hold at least one packet");
+        assert!(cfg.ack_coalesce >= 1, "ack_coalesce of 0 would never ACK");
+        RcQp {
+            pending: VecDeque::new(),
+            in_flight: VecDeque::new(),
+            next_psn: cfg.initial_psn & PSN_MASK,
+            resend_cursor: 0,
+            rto_deadline: None,
+            backoff_exp: 0,
+            retries: 0,
+            rnr_until: None,
+            dead: false,
+            retransmits: 0,
+            expected_psn: cfg.initial_psn & PSN_MASK,
+            msn: 0,
+            since_ack: 0,
+            ack_deadline: None,
+            nak_outstanding: false,
+            rx_in_use: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this QP runs under.
+    pub fn config(&self) -> &RcConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Sender half
+    // ------------------------------------------------------------------
+
+    /// Queue a message for transmission.
+    pub fn post(&mut self, payload: Vec<u8>) {
+        self.pending.push_back(payload);
+    }
+
+    /// True when every posted message has been sent *and* acknowledged.
+    pub fn tx_idle(&self) -> bool {
+        self.pending.is_empty() && self.in_flight.is_empty()
+    }
+
+    /// True when retries were exhausted and the QP is in the error state.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Current retransmission timeout with exponential back-off applied.
+    fn current_rto(&self) -> SimTime {
+        let shifted = self
+            .cfg
+            .rto
+            .checked_shl(self.backoff_exp)
+            .unwrap_or(SimTime::MAX);
+        shifted.min(self.cfg.rto_max)
+    }
+
+    /// Next packet to put on the wire, if the window, RNR back-off and
+    /// error state allow one. Arms the retransmission timer.
+    pub fn poll_tx(&mut self, now: SimTime) -> Option<TxItem> {
+        if self.dead {
+            return None;
+        }
+        if let Some(until) = self.rnr_until {
+            if now < until {
+                return None;
+            }
+            self.rnr_until = None;
+        }
+        let item = if self.resend_cursor < self.in_flight.len() {
+            let item = &mut self.in_flight[self.resend_cursor];
+            item.retransmit = true;
+            self.retransmits += 1;
+            let out = item.clone();
+            self.resend_cursor += 1;
+            out
+        } else if (self.in_flight.len() as u32) < self.cfg.window && !self.pending.is_empty() {
+            let payload = self.pending.pop_front().unwrap();
+            let item = TxItem {
+                psn: self.next_psn,
+                payload,
+                retransmit: false,
+            };
+            self.next_psn = psn_add(self.next_psn, 1);
+            self.in_flight.push_back(item.clone());
+            self.resend_cursor = self.in_flight.len();
+            item
+        } else {
+            return None;
+        };
+        if self.rto_deadline.is_none() {
+            self.rto_deadline = Some(now + self.current_rto());
+        }
+        Some(item)
+    }
+
+    /// Cumulative ACK: everything through `psn` is received. Releases the
+    /// window, resets back-off on progress, re-arms or clears the timer.
+    pub fn on_ack(&mut self, now: SimTime, psn: u32) {
+        let mut released = 0usize;
+        while let Some(front) = self.in_flight.front() {
+            if psn_ahead(front.psn, psn) {
+                break; // front is newer than the ACK: still outstanding
+            }
+            self.in_flight.pop_front();
+            released += 1;
+        }
+        if released == 0 {
+            return; // stale or duplicate ACK: no state change
+        }
+        self.resend_cursor = self.resend_cursor.saturating_sub(released);
+        self.backoff_exp = 0;
+        self.retries = 0;
+        self.rnr_until = None;
+        self.rto_deadline = if self.in_flight.is_empty() {
+            None
+        } else {
+            Some(now + self.current_rto())
+        };
+    }
+
+    /// NAK(PSN sequence error) asking to resume from `psn`: everything
+    /// before it is implicitly acknowledged, then go-back-N from there.
+    pub fn on_nak(&mut self, now: SimTime, psn: u32) {
+        self.on_ack(now, psn_sub(psn, 1));
+        self.resend_cursor = 0;
+        if !self.in_flight.is_empty() {
+            self.rto_deadline = Some(now + self.current_rto());
+        }
+    }
+
+    /// RNR NAK: receiver wants `psn` again but not before `delay` elapses.
+    pub fn on_rnr(&mut self, now: SimTime, psn: u32, delay: SimTime) {
+        self.on_ack(now, psn_sub(psn, 1));
+        self.resend_cursor = 0;
+        self.rnr_until = Some(now + delay);
+        if !self.in_flight.is_empty() {
+            self.rto_deadline = Some(now + self.current_rto());
+        }
+    }
+
+    /// Retransmission-timer check. On expiry: count a retry, double the
+    /// back-off, rewind go-back-N — or declare the QP dead once
+    /// `max_retries` consecutive timeouts pass without progress.
+    pub fn on_timeout(&mut self, now: SimTime) -> TimeoutAction {
+        if self.dead || self.in_flight.is_empty() {
+            return TimeoutAction::None;
+        }
+        match self.rto_deadline {
+            Some(deadline) if now >= deadline => {}
+            _ => return TimeoutAction::None,
+        }
+        self.retries += 1;
+        if self.retries > self.cfg.max_retries {
+            self.dead = true;
+            self.rto_deadline = None;
+            return TimeoutAction::Failed;
+        }
+        // Cap the exponent: current_rto saturates at rto_max anyway.
+        self.backoff_exp = (self.backoff_exp + 1).min(32);
+        self.resend_cursor = 0;
+        self.rto_deadline = Some(now + self.current_rto());
+        TimeoutAction::Rewind
+    }
+
+    /// Earliest instant the sender half needs waking (RTO or RNR expiry).
+    pub fn tx_deadline(&self) -> Option<SimTime> {
+        match (self.rto_deadline, self.rnr_until) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Receiver half
+    // ------------------------------------------------------------------
+
+    /// Where `psn` sits relative to the expected PSN.
+    pub fn rx_classify(&self, psn: u32) -> RxClass {
+        if psn == self.expected_psn {
+            RxClass::InOrder
+        } else if psn_ahead(psn, self.expected_psn) {
+            RxClass::Ahead
+        } else {
+            RxClass::Behind
+        }
+    }
+
+    /// The PSN the receiver expects next.
+    pub fn expected_psn(&self) -> u32 {
+        self.expected_psn
+    }
+
+    /// True while the receive buffer can take another message.
+    pub fn rx_has_budget(&self) -> bool {
+        self.rx_in_use < self.cfg.rx_capacity
+    }
+
+    /// Reserve one receive-buffer slot (the endpoint pairs this with a
+    /// delivered message).
+    pub fn rx_reserve(&mut self) {
+        self.rx_in_use += 1;
+    }
+
+    /// Release a receive-buffer slot once the application drains a message.
+    pub fn rx_release(&mut self) {
+        self.rx_in_use = self.rx_in_use.saturating_sub(1);
+    }
+
+    /// The cumulative ACK for everything received so far.
+    fn cumulative_ack(&self) -> RxReply {
+        RxReply::Ack {
+            psn: psn_sub(self.expected_psn, 1),
+            msn: self.msn,
+        }
+    }
+
+    /// In-order packet accepted: advance the expectation and coalesce the
+    /// ACK — every `ack_coalesce`-th packet acknowledges immediately, a
+    /// straggler is acknowledged after `ack_delay` via [`RcQp::poll_ack`].
+    pub fn rx_accept(&mut self, now: SimTime) -> Option<RxReply> {
+        self.expected_psn = psn_add(self.expected_psn, 1);
+        self.msn = psn_add(self.msn, 1);
+        self.nak_outstanding = false;
+        self.since_ack += 1;
+        if self.since_ack >= self.cfg.ack_coalesce {
+            self.since_ack = 0;
+            self.ack_deadline = None;
+            Some(self.cumulative_ack())
+        } else {
+            self.ack_deadline = Some(now + self.cfg.ack_delay);
+            None
+        }
+    }
+
+    /// A duplicate (behind-expected) packet: re-ACK immediately so a
+    /// sender whose ACK was lost stops retransmitting. Cumulative ACKs
+    /// are idempotent, so this is always safe.
+    pub fn rx_duplicate(&mut self) -> RxReply {
+        self.cumulative_ack()
+    }
+
+    /// A gap (ahead-of-expected packet): emit one NAK per gap asking for
+    /// the expected PSN; further ahead packets stay silent until the gap
+    /// heals, so one loss burst draws one go-back-N, not one per packet.
+    pub fn rx_gap(&mut self) -> Option<RxReply> {
+        if self.nak_outstanding {
+            return None;
+        }
+        self.nak_outstanding = true;
+        Some(RxReply::Nak {
+            psn: self.expected_psn,
+            msn: self.msn,
+        })
+    }
+
+    /// Receive buffer full: ask the sender to back off and retry the
+    /// expected PSN.
+    pub fn rx_not_ready(&self) -> RxReply {
+        RxReply::Rnr {
+            psn: self.expected_psn,
+            msn: self.msn,
+        }
+    }
+
+    /// Fire the delayed-ACK timer: flush a coalesced straggler ACK.
+    pub fn poll_ack(&mut self, now: SimTime) -> Option<RxReply> {
+        match self.ack_deadline {
+            Some(deadline) if now >= deadline && self.since_ack > 0 => {
+                self.since_ack = 0;
+                self.ack_deadline = None;
+                Some(self.cumulative_ack())
+            }
+            _ => None,
+        }
+    }
+
+    /// Earliest instant the receiver half needs waking (delayed ACK).
+    pub fn rx_deadline(&self) -> Option<SimTime> {
+        self.ack_deadline
+    }
+
+    /// Earliest instant either half needs waking.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        match (self.tx_deadline(), self.rx_deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ib_sim::time::US;
+
+    fn qp(window: u32) -> RcQp {
+        RcQp::new(RcConfig {
+            window,
+            ack_coalesce: 1,
+            ..RcConfig::default()
+        })
+    }
+
+    #[test]
+    fn psn_arithmetic_wraps() {
+        assert_eq!(psn_add(PSN_MASK, 1), 0);
+        assert_eq!(psn_sub(0, PSN_MASK), 1);
+        assert!(psn_ahead(2, PSN_MASK));
+        assert!(!psn_ahead(PSN_MASK, 2));
+        assert!(!psn_ahead(5, 5));
+    }
+
+    #[test]
+    fn window_bounds_in_flight() {
+        let mut q = qp(4);
+        for i in 0..10u8 {
+            q.post(vec![i]);
+        }
+        let mut sent = Vec::new();
+        while let Some(item) = q.poll_tx(0) {
+            assert!(!item.retransmit);
+            sent.push(item.psn);
+        }
+        assert_eq!(sent, vec![0, 1, 2, 3], "window caps the burst");
+        // Cumulative ACK of PSN 1 opens two slots.
+        q.on_ack(10, 1);
+        assert_eq!(q.poll_tx(10).unwrap().psn, 4);
+        assert_eq!(q.poll_tx(10).unwrap().psn, 5);
+        assert!(q.poll_tx(10).is_none());
+    }
+
+    #[test]
+    fn timeout_rewinds_with_original_psns_and_backs_off() {
+        let mut q = qp(3);
+        for i in 0..3u8 {
+            q.post(vec![i]);
+        }
+        while q.poll_tx(0).is_some() {}
+        let rto = q.current_rto();
+        assert_eq!(q.on_timeout(rto - 1), TimeoutAction::None);
+        assert_eq!(q.on_timeout(rto), TimeoutAction::Rewind);
+        // Retransmits carry the original PSNs, in order.
+        let r0 = q.poll_tx(rto).unwrap();
+        let r1 = q.poll_tx(rto).unwrap();
+        assert!(r0.retransmit && r1.retransmit);
+        assert_eq!((r0.psn, r1.psn), (0, 1));
+        assert_eq!(q.retransmits, 2);
+        // Back-off doubled the deadline.
+        assert!(q.current_rto() >= 2 * RcConfig::default().rto);
+        // Progress resets back-off.
+        q.on_ack(rto + 1, 2);
+        assert!(q.tx_idle());
+        assert_eq!(q.current_rto(), RcConfig::default().rto);
+    }
+
+    #[test]
+    fn retries_exhaust_to_dead_state() {
+        let mut q = RcQp::new(RcConfig {
+            max_retries: 2,
+            ..RcConfig::default()
+        });
+        q.post(vec![1]);
+        let mut now = 0;
+        q.poll_tx(now);
+        let mut failed = false;
+        for _ in 0..4 {
+            now = q.tx_deadline().unwrap();
+            match q.on_timeout(now) {
+                TimeoutAction::Failed => {
+                    failed = true;
+                    break;
+                }
+                TimeoutAction::Rewind => {
+                    q.poll_tx(now);
+                }
+                TimeoutAction::None => unreachable!("deadline reached"),
+            }
+        }
+        assert!(failed, "third consecutive timeout kills the QP");
+        assert!(q.is_dead());
+        assert!(q.poll_tx(now).is_none(), "dead QP transmits nothing");
+    }
+
+    #[test]
+    fn nak_triggers_go_back_n_from_requested_psn() {
+        let mut q = qp(5);
+        for i in 0..5u8 {
+            q.post(vec![i]);
+        }
+        while q.poll_tx(0).is_some() {}
+        // Receiver got 0,1 then a gap: NAK asks for 2.
+        q.on_nak(10, 2);
+        let next = q.poll_tx(10).unwrap();
+        assert_eq!(next.psn, 2);
+        assert!(next.retransmit);
+        assert_eq!(q.poll_tx(10).unwrap().psn, 3);
+    }
+
+    #[test]
+    fn rnr_pauses_transmission() {
+        let mut q = qp(2);
+        q.post(vec![1]);
+        q.post(vec![2]);
+        q.poll_tx(0);
+        q.on_rnr(5, 0, 50 * US);
+        assert!(q.poll_tx(6).is_none(), "paused during RNR back-off");
+        let resumed = q.poll_tx(5 + 50 * US).unwrap();
+        assert_eq!(resumed.psn, 0);
+        assert!(resumed.retransmit);
+    }
+
+    #[test]
+    fn receiver_classifies_and_coalesces() {
+        let mut q = RcQp::new(RcConfig {
+            ack_coalesce: 2,
+            ..RcConfig::default()
+        });
+        assert_eq!(q.rx_classify(0), RxClass::InOrder);
+        assert_eq!(q.rx_classify(3), RxClass::Ahead);
+        assert_eq!(q.rx_classify(PSN_MASK), RxClass::Behind);
+        // First in-order packet: coalesced (delayed ACK armed).
+        assert_eq!(q.rx_accept(0), None);
+        assert!(q.rx_deadline().is_some());
+        // Second: immediate cumulative ACK of PSN 1.
+        assert_eq!(q.rx_accept(1), Some(RxReply::Ack { psn: 1, msn: 2 }));
+        assert!(q.rx_deadline().is_none());
+        // Straggler third: flushed by the timer.
+        assert_eq!(q.rx_accept(2), None);
+        let deadline = q.rx_deadline().unwrap();
+        assert_eq!(q.poll_ack(deadline - 1), None);
+        assert_eq!(q.poll_ack(deadline), Some(RxReply::Ack { psn: 2, msn: 3 }));
+    }
+
+    #[test]
+    fn one_nak_per_gap() {
+        let mut q = qp(4);
+        assert_eq!(q.rx_gap(), Some(RxReply::Nak { psn: 0, msn: 0 }));
+        assert_eq!(q.rx_gap(), None, "gap already NAKed");
+        // The gap heals (expected packet arrives): NAK state resets.
+        q.rx_accept(0);
+        assert!(q.rx_gap().is_some());
+    }
+
+    #[test]
+    fn rx_budget_tracks_reservations() {
+        let mut q = RcQp::new(RcConfig {
+            rx_capacity: 2,
+            ..RcConfig::default()
+        });
+        assert!(q.rx_has_budget());
+        q.rx_reserve();
+        q.rx_reserve();
+        assert!(!q.rx_has_budget());
+        assert_eq!(q.rx_not_ready(), RxReply::Rnr { psn: 0, msn: 0 });
+        q.rx_release();
+        assert!(q.rx_has_budget());
+    }
+
+    #[test]
+    fn duplicate_reacks_cumulatively() {
+        let mut q = qp(4);
+        q.rx_accept(0);
+        q.rx_accept(0);
+        assert_eq!(q.rx_duplicate(), RxReply::Ack { psn: 1, msn: 2 });
+    }
+
+    #[test]
+    fn sender_psn_wraps_across_the_ring() {
+        let mut q = RcQp::new(RcConfig {
+            window: 4,
+            ack_coalesce: 1,
+            initial_psn: PSN_MASK - 1,
+            ..RcConfig::default()
+        });
+        for i in 0..4u8 {
+            q.post(vec![i]);
+        }
+        let psns: Vec<u32> = std::iter::from_fn(|| q.poll_tx(0).map(|t| t.psn)).collect();
+        assert_eq!(psns, vec![PSN_MASK - 1, PSN_MASK, 0, 1]);
+        // Cumulative ACK across the wrap releases all four.
+        q.on_ack(1, 1);
+        assert!(q.tx_idle());
+    }
+}
