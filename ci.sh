@@ -23,6 +23,18 @@ cargo run -q --release --offline -p bench --bin fig_replay -- --smoke
 diff BENCH_fig_replay.first.json BENCH_fig_replay.json
 rm BENCH_fig_replay.first.json
 
+echo "== mac_table4 smoke (twice: structure must be stable, asserts must hold) =="
+# The binary's own acceptance asserts gate the streaming-vs-one-shot
+# equivalence and throughput; across runs the numbers move with the
+# clock, so compare the *structure* with numerics normalized away.
+cargo run -q --release --offline -p bench --bin mac_table4 -- --smoke
+mv BENCH_mac_throughput.json BENCH_mac_throughput.first.json
+cargo run -q --release --offline -p bench --bin mac_table4 -- --smoke
+normalize_numbers() { sed -E 's/-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?/N/g' "$1"; }
+diff <(normalize_numbers BENCH_mac_throughput.first.json) \
+     <(normalize_numbers BENCH_mac_throughput.json)
+rm BENCH_mac_throughput.first.json
+
 echo "== jsonck: emitted results parse back through ib_runtime::json =="
 cargo run -q --release --offline -p bench --bin jsonck -- BENCH_*.json
 

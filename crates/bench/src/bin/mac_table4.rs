@@ -1,0 +1,315 @@
+//! Table 4 as *throughput over real packets* — MB/s and cycles/byte for
+//! every authentication candidate over {64 B, 1 KiB, 4 KiB} payloads,
+//! comparing three tag-computation paths:
+//!
+//! * `baseline` — the pre-scratch-buffer hot path: materialize the ICRC
+//!   message with an allocating [`Packet::icrc_message`], then one-shot
+//!   MAC. Kept as the regression reference.
+//! * `oneshot`  — serialize with [`Packet::icrc_message_into`] into a
+//!   reused scratch buffer, then one-shot MAC (no per-packet allocation).
+//! * `stream`   — no materialization at all: walk the packet's masked
+//!   header slices with [`Packet::for_each_icrc_slice`] straight through
+//!   the incremental [`MacStream`] kernels.
+//!
+//! Every path must produce the identical tag (asserted per algorithm and
+//! size before anything is timed), and the streaming path must not lose
+//! to the materializing ones — that is the §5.2 link-rate argument: the
+//! MAC can run while the packet streams through the port, with no copy.
+//!
+//! Usage: `mac_table4 [--smoke] [--seed S]`
+
+use std::time::{Duration, Instant};
+
+use bench::{estimate_cpu_hz, render_table, seed_arg};
+use ib_crypto::mac::{AnyMac, AuthAlgorithm, Mac};
+use ib_packet::types::{Lid, PKey, Psn, Qpn};
+use ib_packet::{OpCode, Packet, PacketBuilder};
+use ib_runtime::bench::{BenchConfig, Harness, Measurement};
+use ib_runtime::{Json, ToJson};
+
+/// Payload sizes under test: minimum-ish, the UMAC NH chunk size, and a
+/// multi-chunk jumbo frame.
+const SIZES: [usize; 3] = [64, 1024, 4096];
+/// Tag-computation paths, in baseline-first order.
+const ARMS: [&str; 3] = ["baseline", "oneshot", "stream"];
+/// Fixed nonce: arms must agree bit-for-bit, and throughput does not
+/// depend on its value.
+const NONCE: u64 = 0x0001_0000_002A;
+
+/// A sealed RC data packet carrying `len` deterministic payload bytes.
+fn packet_for(len: usize) -> Packet {
+    let mut payload = vec![0u8; len];
+    for (i, b) in payload.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_mul(31).wrapping_add(7);
+    }
+    PacketBuilder::new(OpCode::RC_SEND_ONLY)
+        .slid(Lid(1))
+        .dlid(Lid(2))
+        .pkey(PKey(0x8001))
+        .dest_qp(Qpn(7))
+        .psn(Psn(42))
+        .payload(payload)
+        .build()
+}
+
+fn stream_tag(mac: &AnyMac, packet: &Packet) -> u32 {
+    let mut st = mac.stream(NONCE);
+    packet.for_each_icrc_slice(|slice| st.update(slice));
+    st.finalize()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let seed = seed_arg(&args);
+    let config = if smoke {
+        BenchConfig {
+            warmup: Duration::from_millis(20),
+            measurement: Duration::from_millis(80),
+            samples: 5,
+        }
+    } else {
+        BenchConfig {
+            warmup: Duration::from_millis(200),
+            measurement: Duration::from_millis(300),
+            samples: 15,
+        }
+    };
+
+    let mut key = [0u8; 16];
+    key.copy_from_slice(&[seed.0.to_le_bytes(), (!seed.0).to_le_bytes()].concat());
+    let packets: Vec<Packet> = SIZES.iter().map(|&len| packet_for(len)).collect();
+    // The timed message is the ICRC message (masked headers + padded
+    // payload), not just the payload.
+    let msg_lens: Vec<usize> = packets.iter().map(|p| p.icrc_message().len()).collect();
+
+    // ---- equivalence gate: all three paths, identical tags ----
+    for alg in AuthAlgorithm::ALL {
+        let mac = AnyMac::new(alg, &key);
+        for (packet, &msg_len) in packets.iter().zip(&msg_lens) {
+            let baseline = mac.tag32(NONCE, &packet.icrc_message());
+            let mut scratch = Vec::new();
+            packet.icrc_message_into(&mut scratch);
+            assert_eq!(scratch.len(), msg_len);
+            let oneshot = mac.tag32(NONCE, &scratch);
+            let streamed = stream_tag(&mac, packet);
+            assert_eq!(
+                (baseline, oneshot),
+                (streamed, streamed),
+                "{} / {msg_len} B: all tag paths must agree",
+                alg.name()
+            );
+        }
+    }
+    println!("OK: baseline, oneshot and stream tags identical for every algorithm and size.\n");
+
+    // ---- timed runs ----
+    // This host's clock throttles by tens of percent over seconds, so the
+    // three arms of each comparison are interleaved *sample by sample*: a
+    // frequency dip lands on all arms of the adjacent sample triple, not
+    // on whichever arm happened to run in that window. The raw samples
+    // then flow through the harness's normal statistics pipeline
+    // (Tukey fences, bootstrap CI) via `Group::record`.
+    let mut harness = Harness::new(config);
+    // (arm, alg, payload_len, msg_len) per measurement, in push order —
+    // ids are display-only (algorithm names contain '/').
+    let mut meta: Vec<(&str, AuthAlgorithm, usize, usize)> = Vec::new();
+    // Raw per-cell samples, kept for the paired acceptance statistics.
+    let mut raw: Vec<(AuthAlgorithm, usize, [Vec<f64>; 3])> = Vec::new();
+    for alg in AuthAlgorithm::ALL {
+        let mac = AnyMac::new(alg, &key);
+        for (i, &size) in SIZES.iter().enumerate() {
+            let packet = &packets[i];
+            let msg_len = msg_lens[i];
+            let mut scratch = Vec::with_capacity(msg_len);
+            let mut arms: [Box<dyn FnMut() -> u32 + '_>; 3] = [
+                Box::new(|| mac.tag32(NONCE, &packet.icrc_message())),
+                Box::new(|| {
+                    packet.icrc_message_into(&mut scratch);
+                    mac.tag32(NONCE, &scratch)
+                }),
+                Box::new(|| stream_tag(&mac, packet)),
+            ];
+            // Calibrate one shared batch size (≈ one sample window for the
+            // slowest arm) while warming all arms up.
+            let sample_window = config.measurement / (config.samples * ARMS.len() as u32);
+            let mut batch: u64 = 1;
+            let warmup_end = Instant::now() + config.warmup;
+            loop {
+                let mut slowest = Duration::ZERO;
+                for run in arms.iter_mut() {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(run());
+                    }
+                    slowest = slowest.max(start.elapsed());
+                }
+                if slowest * 10 >= sample_window && Instant::now() >= warmup_end {
+                    break;
+                }
+                if slowest * 10 < sample_window {
+                    batch = batch.saturating_mul(2);
+                }
+            }
+            // Paired samples: one triple per pass.
+            let mut sample_ns = [const { Vec::new() }; 3];
+            for _ in 0..config.samples {
+                for (a, run) in arms.iter_mut().enumerate() {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(run());
+                    }
+                    sample_ns[a].push(start.elapsed().as_nanos() as f64 / batch as f64);
+                }
+            }
+            drop(arms);
+            let id = format!("{}-{size}B", alg.name());
+            for (a, &arm) in ARMS.iter().enumerate() {
+                harness
+                    .group(arm)
+                    .throughput_bytes(msg_len as u64)
+                    .record(&id, &sample_ns[a]);
+                meta.push((arm, alg, size, msg_len));
+            }
+            raw.push((alg, size, sample_ns));
+        }
+    }
+
+    let cpu_hz = estimate_cpu_hz();
+    let results = harness.results().to_vec();
+    assert_eq!(results.len(), meta.len());
+    let cell = |arm: &str, alg: AuthAlgorithm, size: usize| -> &Measurement {
+        let idx = meta
+            .iter()
+            .position(|&(a, g, s, _)| a == arm && g == alg && s == size)
+            .expect("every (arm, alg, size) was measured");
+        &results[idx]
+    };
+    // The robust statistic for pass/fail comparisons: the *median paired
+    // ratio*. Arms run back-to-back within each sample triple, so a clock
+    // dip hits the ratio's numerator and denominator almost equally and
+    // cancels — unlike cross-arm floors or means, which drift apart when
+    // the throttle window moves mid-cell.
+    let paired = |num: &str, den: &str, alg: AuthAlgorithm, size: usize| -> Vec<f64> {
+        let ni = ARMS.iter().position(|&a| a == num).unwrap();
+        let di = ARMS.iter().position(|&a| a == den).unwrap();
+        let samples = &raw
+            .iter()
+            .find(|&&(g, s, _)| g == alg && s == size)
+            .expect("every (alg, size) was measured")
+            .2;
+        let mut ratios: Vec<f64> = samples[ni]
+            .iter()
+            .zip(&samples[di])
+            .map(|(n, d)| n / d)
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ratios
+    };
+    let median = |ratios: &[f64]| ratios[ratios.len() / 2];
+
+    // ---- Table 4, throughput form ----
+    println!(
+        "\nTable 4 as throughput (estimated clock {:.2} GHz; MB/s over the ICRC message):",
+        cpu_hz / 1e9
+    );
+    let mut trows: Vec<Vec<String>> = Vec::new();
+    for alg in AuthAlgorithm::ALL {
+        for (i, &size) in SIZES.iter().enumerate() {
+            let msg_len = msg_lens[i];
+            for &arm in &ARMS {
+                let m = cell(arm, alg, size);
+                let mbps = m.bytes_per_sec().unwrap_or(0.0) / 1e6;
+                let cpb = m.mean_ns * 1e-9 * cpu_hz / msg_len as f64;
+                trows.push(vec![
+                    arm.to_string(),
+                    alg.name().to_string(),
+                    size.to_string(),
+                    format!("{mbps:.1}"),
+                    format!("{cpb:.2}"),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["path", "algorithm", "payload B", "MB/s", "cycles/byte"],
+            &trows
+        )
+    );
+
+    // ---- acceptance assertions (on median paired ratios) ----
+    // Streaming UMAC keeps pace with the one-shot kernel at the NH chunk
+    // size (1 KiB): the incremental state machine costs nothing material.
+    // Smoke runs (5 samples over ~2 ms windows) gate structure and tag
+    // equivalence in CI, not 5 %-level perf claims — widen every bar.
+    let (med_bar, best_bar, beat_bar, broad_bar) = if smoke {
+        (1.25, 1.10, 1.10, 1.25)
+    } else {
+        (1.05, 1.00, 1.00, 1.10)
+    };
+    // Even the paired median moves ±7 % run-to-run on this host, so the
+    // gate is a disjunction: a genuine ≥5 % incremental-state overhead
+    // would both push the median past the bar *and* keep streaming from
+    // ever winning a paired triple.
+    let ratios = paired("stream", "oneshot", AuthAlgorithm::Umac32, 1024);
+    let (med, best) = (median(&ratios), ratios[0]);
+    assert!(
+        med <= med_bar || best <= best_bar,
+        "streaming UMAC at 1 KiB must keep pace with one-shot \
+         (median paired ratio {med:.3}, best {best:.3})"
+    );
+    // The new path beats the allocating pre-PR baseline for the paper's
+    // recommended MAC wherever the allocation+copy is material…
+    for &size in &[1024, 4096] {
+        let r = median(&paired("stream", "baseline", AuthAlgorithm::Umac32, size));
+        assert!(
+            r < beat_bar,
+            "streaming UMAC at {size} B must beat the allocating baseline \
+             (median paired ratio {r:.3})"
+        );
+    }
+    // …and never loses meaningfully to it for any algorithm or size.
+    // This broad guard uses the *minimum* paired ratio: a genuine kernel
+    // regression slows every sample triple, while this host's clock
+    // noise (±15 % even on paired 20 µs AES samples) does not — at least
+    // one triple must still show streaming at near-parity. The
+    // per-packet allocation story at small sizes is told by the
+    // allocation-counting tests, not by nanoseconds.
+    for alg in AuthAlgorithm::ALL {
+        for &size in &SIZES {
+            let r = paired("stream", "baseline", alg, size)[0];
+            assert!(
+                r <= broad_bar,
+                "{} at {size} B: streaming within {:.0}% of baseline in \
+                 the best paired sample (min paired ratio {r:.3})",
+                alg.name(),
+                (broad_bar - 1.0) * 100.0
+            );
+        }
+    }
+    println!("OK: streaming path holds up against one-shot and beats the allocating baseline.");
+
+    let path = harness
+        .write_json(
+            "mac_throughput",
+            "mac_throughput",
+            seed,
+            Json::obj([
+                (
+                    "payload_sizes",
+                    Json::arr(SIZES.iter().map(|&s| (s as u64).to_json())),
+                ),
+                (
+                    "message_lens",
+                    Json::arr(msg_lens.iter().map(|&l| (l as u64).to_json())),
+                ),
+                ("arms", Json::arr(ARMS.iter().map(|a| a.to_json()))),
+                ("cpu_hz", cpu_hz.to_json()),
+                ("smoke", smoke.to_json()),
+            ]),
+        )
+        .expect("write BENCH_mac_throughput.json");
+    println!("wrote {}", path.display());
+}

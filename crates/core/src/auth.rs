@@ -2,8 +2,9 @@
 //! real [`ib_packet::Packet`]s.
 //!
 //! Tagging: compute a 32-bit MAC over exactly the bytes the ICRC covers
-//! (invariant fields, variant fields masked — [`Packet::icrc_message`]),
-//! store it in the ICRC slot, and put the algorithm selector in BTH
+//! (invariant fields, variant fields masked — streamed in place via
+//! [`Packet::for_each_icrc_slice`], no per-packet allocation), store it in
+//! the ICRC slot, and put the algorithm selector in BTH
 //! `Resv8a`. Verification reverses this. Selector 0 falls back to the
 //! plain CRC-32 check, which is what makes the scheme wire-compatible with
 //! non-upgraded IBA gear.
@@ -12,9 +13,10 @@
 //! freshness, the SLID disambiguates senders sharing a partition secret
 //! (partition-level keys are shared by every QP in the partition — §4.2).
 
+use std::cell::RefCell;
 use std::fmt;
 
-use ib_crypto::mac::{AnyMac, AuthAlgorithm, Mac};
+use ib_crypto::mac::{AnyMac, AuthAlgorithm};
 use ib_mgmt::keymgmt::{NodeKeyTable, SecretKey};
 use ib_packet::Packet;
 
@@ -71,6 +73,13 @@ pub struct Authenticator {
     pub keys: NodeKeyTable,
     algorithm: AuthAlgorithm,
     scope: KeyScope,
+    /// Keyed-MAC cache: constructing an [`AnyMac`] runs the AES key
+    /// schedule (and, for UMAC, the ~1 KiB KDF) — far too expensive to
+    /// redo per packet. Keyed by `(algorithm, secret)` so secret rotation
+    /// naturally misses; growth is bounded by the key table size. A
+    /// `RefCell` keeps `compute_tag`/`verify_packet` callable through
+    /// `&self` (the engine is per-node, never shared across threads).
+    mac_cache: RefCell<Vec<((AuthAlgorithm, SecretKey), AnyMac)>>,
 }
 
 impl Authenticator {
@@ -85,6 +94,7 @@ impl Authenticator {
             keys: NodeKeyTable::new(),
             algorithm,
             scope,
+            mac_cache: RefCell::new(Vec::new()),
         }
     }
 
@@ -127,12 +137,38 @@ impl Authenticator {
         }
     }
 
+    /// Run `f` with the cached keyed MAC for `(algorithm, secret)`,
+    /// constructing and caching it on first use.
+    fn with_mac<R>(
+        &self,
+        algorithm: AuthAlgorithm,
+        secret: SecretKey,
+        f: impl FnOnce(&AnyMac) -> R,
+    ) -> R {
+        let mut cache = self.mac_cache.borrow_mut();
+        let idx = match cache.iter().position(|(k, _)| *k == (algorithm, secret)) {
+            Some(i) => i,
+            None => {
+                cache.push(((algorithm, secret), AnyMac::new(algorithm, &secret.0)));
+                cache.len() - 1
+            }
+        };
+        f(&cache[idx].1)
+    }
+
+    /// Stream the packet's invariant fields through an incremental MAC —
+    /// the allocation-free core of both tagging and verification.
+    fn stream_tag(mac: &AnyMac, packet: &Packet) -> u32 {
+        let mut stream = mac.stream(Self::nonce(packet));
+        packet.for_each_icrc_slice(|slice| stream.update(slice));
+        stream.finalize()
+    }
+
     /// Compute the tag for a packet under this node's keys (without
     /// mutating the packet).
     pub fn compute_tag(&self, packet: &Packet) -> Result<u32, AuthError> {
         let secret = self.secret_for(packet)?;
-        let mac = AnyMac::new(self.algorithm, &secret.0);
-        Ok(mac.tag32(Self::nonce(packet), &packet.icrc_message()))
+        Ok(self.with_mac(self.algorithm, secret, |mac| Self::stream_tag(mac, packet)))
     }
 
     /// Tag a packet in place: selector into BTH `Resv8a`, MAC into the
@@ -161,8 +197,9 @@ impl Authenticator {
             };
         }
         let secret = self.secret_for(packet)?;
-        let mac = AnyMac::new(algorithm, &secret.0);
-        if mac.verify(Self::nonce(packet), &packet.icrc_message(), packet.icrc) {
+        let tag = self.with_mac(algorithm, secret, |mac| Self::stream_tag(mac, packet));
+        // XOR-compare, like `Mac::verify`, to keep timing tag-independent.
+        if (tag ^ packet.icrc) == 0 {
             Ok(())
         } else {
             Err(AuthError::BadTag)

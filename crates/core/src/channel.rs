@@ -170,14 +170,21 @@ impl SecureChannel {
         self.window.as_ref().map(|w| w.window())
     }
 
-    /// Outbound side: tag the (sealed) packet when authenticating, leave
-    /// the builder's plain ICRC otherwise. Retransmits rebuild identical
-    /// bytes under the original PSN, so the tag — nonce and all — comes
-    /// out identical too.
+    /// Outbound side: tag the packet when authenticating, or complete it
+    /// with the plain ICRC + VCRC otherwise. The packet's length fields
+    /// must be consistent (the builder's `seal()` or a template's
+    /// [`Packet::seal_lengths`] both suffice; for an already fully-sealed
+    /// packet this is idempotent). Retransmits rebuild identical bytes
+    /// under the original PSN, so the tag — nonce and all — comes out
+    /// identical too.
     pub fn seal(&self, packet: &mut Packet) -> Result<(), AuthError> {
         match &self.auth {
             Some(auth) => auth.tag_packet(packet),
-            None => Ok(()),
+            None => {
+                packet.icrc = packet.compute_icrc();
+                packet.vcrc = packet.compute_vcrc();
+                Ok(())
+            }
         }
     }
 
@@ -271,9 +278,37 @@ mod tests {
             let (tx, mut rx) = pair(arm);
             let mut pkt = rc_packet(5, b"hello");
             tx.seal(&mut pkt).unwrap();
-            let wire = Packet::parse(&pkt.to_bytes()).unwrap();
-            assert_eq!(rx.admit(&wire).unwrap(), Admit::Fresh, "{arm:?}");
+            // Admit the in-memory packet directly — no serialize/reparse
+            // round trip on the verification path.
+            assert_eq!(rx.admit(&pkt).unwrap(), Admit::Fresh, "{arm:?}");
             assert_eq!(rx.stats.fresh, 1);
+        }
+    }
+
+    /// Regression for the old serialize-reparse round trip: a packet that
+    /// crossed the wire must admit exactly like the in-memory original
+    /// (same verdict, same stats), so verifying in memory loses nothing.
+    #[test]
+    fn parsed_from_wire_admits_identically_to_in_memory() {
+        for arm in ChannelSecurity::ALL {
+            let (tx, mut rx_mem) = pair(arm);
+            let (_, mut rx_wire) = pair(arm);
+            for psn in [0u32, 1, 2, 1] {
+                let mut pkt = rc_packet(psn, b"regression");
+                tx.seal(&mut pkt).unwrap();
+                let parsed = Packet::parse(&pkt.to_bytes()).unwrap();
+                assert_eq!(
+                    parsed, pkt,
+                    "{arm:?} psn {psn}: wire round trip is lossless"
+                );
+                assert_eq!(
+                    rx_mem.admit(&pkt),
+                    rx_wire.admit(&parsed),
+                    "{arm:?} psn {psn}"
+                );
+            }
+            assert_eq!(rx_mem.stats.fresh, rx_wire.stats.fresh, "{arm:?}");
+            assert_eq!(rx_mem.stats.duplicates, rx_wire.stats.duplicates, "{arm:?}");
         }
     }
 

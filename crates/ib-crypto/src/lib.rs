@@ -29,6 +29,9 @@
 //!   [`mac::AuthAlgorithm`] registry that maps to the BTH `Resv` selector
 //!   values used by the ICRC-as-MAC scheme, with the forgery-probability
 //!   table the paper reports (Table 4).
+//! * [`mac_stream`] — the incremental (init/update/finalize) counterpart of
+//!   [`mac::AnyMac`], so tags can be computed over in-place packet slices
+//!   without materializing the message (§5.2's link-rate argument).
 //!
 //! Everything is `no_std`-style pure computation over byte slices (we still
 //! link `std` for convenience); nothing allocates on the hot path except
@@ -39,6 +42,7 @@ pub mod crc;
 pub mod digest;
 pub mod hmac;
 pub mod mac;
+pub mod mac_stream;
 pub mod md5;
 pub mod partial_mac;
 pub mod pmac;
@@ -51,6 +55,7 @@ pub use crc::{crc16_iba, crc32_ieee, Crc16, Crc32};
 pub use digest::Digest;
 pub use hmac::Hmac;
 pub use mac::{AuthAlgorithm, Mac, Tag32};
+pub use mac_stream::MacStream;
 pub use md5::Md5;
 pub use sha1::Sha1;
 pub use umac::Umac;

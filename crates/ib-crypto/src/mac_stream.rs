@@ -1,0 +1,160 @@
+//! Streaming (init/update/finalize) counterpart of [`crate::mac::AnyMac`].
+//!
+//! The paper's viability argument (§5.2) is that the MAC runs at link rate
+//! — which only holds if the implementation can consume the invariant
+//! fields *as they stream past* instead of materializing a contiguous copy
+//! of the message first. [`MacStream`] is that interface: obtain one from
+//! [`AnyMac::stream`], feed the message in arbitrary slices, and
+//! [`MacStream::finalize`] yields a tag byte-identical to the one-shot
+//! [`crate::mac::Mac::tag32`] (property-tested across random split points).
+//!
+//! Nothing in init/update/finalize heap-allocates, so the per-packet
+//! tag/verify path stays allocation-free end to end.
+
+use crate::crc::Crc32;
+use crate::hmac::Hmac;
+use crate::mac::{AnyMac, Tag32};
+use crate::md5::Md5;
+use crate::pmac::PmacStream;
+use crate::sha1::Sha1;
+use crate::stream_mac::{StreamMac, StreamMacState};
+use crate::umac::UmacStream;
+
+/// An in-flight incremental MAC computation for one (key, nonce) pair.
+///
+/// Borrows the keyed [`AnyMac`] where key material is large (UMAC's NH key,
+/// PMAC's AES schedule); the HMAC and CRC variants own their small running
+/// state outright.
+pub enum MacStream<'k> {
+    /// Plain CRC-32 (selector 0): ignores the nonce, like [`AnyMac::Icrc`].
+    Icrc(Crc32),
+    Umac32(UmacStream<'k>),
+    HmacMd5(Hmac<Md5>),
+    HmacSha1(Hmac<Sha1>),
+    StreamMac {
+        mac: &'k StreamMac,
+        st: StreamMacState,
+        nonce: u64,
+    },
+    Pmac(PmacStream<'k>),
+}
+
+impl AnyMac {
+    /// Start an incremental tag computation under `nonce`.
+    #[inline]
+    pub fn stream(&self, nonce: u64) -> MacStream<'_> {
+        match self {
+            AnyMac::Icrc => MacStream::Icrc(Crc32::new()),
+            AnyMac::Umac32(u) => MacStream::Umac32(u.stream(nonce)),
+            // HMAC has no nonce input; prepend it, mirroring the one-shot
+            // path in `AnyMac::tag32`.
+            AnyMac::HmacMd5(key) => {
+                let mut h = Hmac::<Md5>::new(key);
+                h.update(&nonce.to_be_bytes());
+                MacStream::HmacMd5(h)
+            }
+            AnyMac::HmacSha1(key) => {
+                let mut h = Hmac::<Sha1>::new(key);
+                h.update(&nonce.to_be_bytes());
+                MacStream::HmacSha1(h)
+            }
+            AnyMac::StreamMac(mac) => MacStream::StreamMac {
+                mac,
+                st: mac.start(),
+                nonce,
+            },
+            AnyMac::Pmac(p) => MacStream::Pmac(p.stream(nonce)),
+        }
+    }
+}
+
+impl MacStream<'_> {
+    /// Absorb the next `data` bytes of the message.
+    #[inline]
+    pub fn update(&mut self, data: &[u8]) {
+        match self {
+            MacStream::Icrc(c) => {
+                c.update_slice8(data);
+            }
+            MacStream::Umac32(s) => s.update(data),
+            MacStream::HmacMd5(h) => h.update(data),
+            MacStream::HmacSha1(h) => h.update(data),
+            MacStream::StreamMac { mac, st, .. } => mac.update(st, data),
+            MacStream::Pmac(s) => s.update(data),
+        }
+    }
+
+    /// Finish and return the 32-bit tag.
+    #[inline]
+    pub fn finalize(self) -> Tag32 {
+        match self {
+            MacStream::Icrc(c) => c.finalize(),
+            MacStream::Umac32(s) => s.finalize(),
+            MacStream::HmacMd5(h) => {
+                let out = h.finalize();
+                u32::from_be_bytes([out[0], out[1], out[2], out[3]])
+            }
+            MacStream::HmacSha1(h) => {
+                let out = h.finalize();
+                u32::from_be_bytes([out[0], out[1], out[2], out[3]])
+            }
+            MacStream::StreamMac { mac, st, nonce } => mac.finish(st, nonce),
+            MacStream::Pmac(s) => s.finalize(),
+        }
+    }
+
+    /// Finish and compare against `tag` (XOR-compare, like
+    /// [`crate::mac::Mac::verify`]).
+    pub fn verify(self, tag: Tag32) -> bool {
+        (self.finalize() ^ tag) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::{AuthAlgorithm, Mac};
+
+    #[test]
+    fn stream_equals_oneshot_for_every_algorithm() {
+        for alg in AuthAlgorithm::ALL {
+            let mac = AnyMac::new(alg, &[0x5Au8; 16]);
+            for len in [0usize, 1, 3, 4, 5, 63, 64, 100, 1024, 1500, 4096] {
+                let msg: Vec<u8> = (0..len).map(|i| (i * 31 + 5) as u8).collect();
+                let expect = mac.tag32(1234, &msg);
+                let mut s = mac.stream(1234);
+                s.update(&msg);
+                assert_eq!(s.finalize(), expect, "{alg:?} len {len} single");
+                let mut s = mac.stream(1234);
+                for chunk in msg.chunks(7) {
+                    s.update(chunk);
+                }
+                assert_eq!(s.finalize(), expect, "{alg:?} len {len} chunked");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_verify_accepts_and_rejects() {
+        let mac = AnyMac::new(AuthAlgorithm::Umac32, &[9u8; 16]);
+        let tag = mac.tag32(7, b"verify me");
+        let mut s = mac.stream(7);
+        s.update(b"verify me");
+        assert!(s.verify(tag));
+        let mut s = mac.stream(7);
+        s.update(b"verify mE");
+        assert!(!s.verify(tag));
+    }
+
+    #[test]
+    fn icrc_stream_ignores_nonce() {
+        let mac = AnyMac::new(AuthAlgorithm::Icrc, &[0u8; 16]);
+        let mut a = mac.stream(1);
+        let mut b = mac.stream(2);
+        a.update(b"123456789");
+        b.update(b"123456789");
+        let (ta, tb) = (a.finalize(), b.finalize());
+        assert_eq!(ta, tb);
+        assert_eq!(ta, 0xCBF4_3926);
+    }
+}

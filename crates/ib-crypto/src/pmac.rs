@@ -146,6 +146,18 @@ impl Pmac {
         self.finalize_sigma(sigma, last, nonce)
     }
 
+    /// Start an incremental tag computation (see [`PmacStream`]).
+    pub fn stream(&self, nonce: u64) -> PmacStream<'_> {
+        PmacStream {
+            pmac: self,
+            nonce,
+            sigma: [0u8; 16],
+            idx: 0,
+            buf: [0u8; 16],
+            buf_len: 0,
+        }
+    }
+
     /// Tag computed by accumulating the full-block prefix in `chunks`-many
     /// independently-computed partial sums (sequentially here; the point is
     /// that the partial sums commute, which the test below verifies and the
@@ -165,6 +177,60 @@ impl Pmac {
             idx = end;
         }
         self.finalize_sigma(sigma, last, nonce)
+    }
+}
+
+/// Incremental form of [`Pmac::tag32`]: feed the message in arbitrary
+/// slices, then [`PmacStream::finalize`]. The final block of a message is
+/// special-cased in PMAC ([`Pmac::split`] keeps 1..=16 trailing bytes for
+/// [`Pmac::finalize_sigma`]), so the stream lags the input by one buffered
+/// block: a full buffer is only flushed into sigma once more data proves it
+/// was not the last block. No heap allocation in init/update/finalize.
+#[derive(Clone)]
+pub struct PmacStream<'k> {
+    pmac: &'k Pmac,
+    nonce: u64,
+    sigma: [u8; 16],
+    /// Index of the next full block to accumulate.
+    idx: u64,
+    /// Lag buffer holding the most recent 0..=16 message bytes.
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl PmacStream<'_> {
+    /// Absorb the next `data` bytes of the message.
+    pub fn update(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            if self.buf_len == 16 {
+                // More data follows, so the buffered block is not final.
+                let block = self.buf;
+                self.pmac.accumulate(self.idx, &block, &mut self.sigma);
+                self.idx += 1;
+                self.buf_len = 0;
+            }
+            if self.buf_len == 0 && data.len() > 16 {
+                // Bulk path: accumulate every block that provably is not
+                // the last one (≥ 1 byte must remain for the lag buffer).
+                let nblocks = (data.len() - 1) / 16;
+                let (head, rest) = data.split_at(nblocks * 16);
+                self.pmac.accumulate(self.idx, head, &mut self.sigma);
+                self.idx += nblocks as u64;
+                data = rest;
+            }
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+        }
+    }
+
+    /// Finish and return the 32-bit tag. Equals
+    /// `pmac.tag32(nonce, message)` for the concatenation of all `update`
+    /// slices.
+    pub fn finalize(self) -> u32 {
+        self.pmac
+            .finalize_sigma(self.sigma, &self.buf[..self.buf_len], self.nonce)
     }
 }
 
@@ -232,6 +298,31 @@ mod tests {
                 reference,
                 "{chunks} chunks"
             );
+        }
+    }
+
+    #[test]
+    fn stream_equals_oneshot_across_sizes_and_splits() {
+        let p = Pmac::new(b"pmac key 16 byte");
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1000] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 13 + 7) as u8).collect();
+            let expect = p.tag32(9, &msg);
+            let mut s = p.stream(9);
+            s.update(&msg);
+            assert_eq!(s.finalize(), expect, "len {len} single");
+            let mut s = p.stream(9);
+            for b in &msg {
+                s.update(std::slice::from_ref(b));
+            }
+            assert_eq!(s.finalize(), expect, "len {len} bytewise");
+            for split in [1usize, 15, 16, 17, 32] {
+                if split <= len {
+                    let mut s = p.stream(9);
+                    s.update(&msg[..split]);
+                    s.update(&msg[split..]);
+                    assert_eq!(s.finalize(), expect, "len {len} split {split}");
+                }
+            }
         }
     }
 

@@ -182,6 +182,184 @@ impl Umac {
         // of which byte differs.
         (self.tag32(nonce, message) ^ tag) == 0
     }
+
+    /// Start an incremental tag computation (see [`UmacStream`]).
+    #[inline]
+    pub fn stream(&self, nonce: u64) -> UmacStream<'_> {
+        UmacStream {
+            umac: self,
+            nonce,
+            sum: 0,
+            ki: 0,
+            chunk_bytes: 0,
+            partial: [0u8; 8],
+            partial_len: 0,
+            first: 0,
+            poly_y: 0,
+            chunks: 0,
+        }
+    }
+}
+
+/// Incremental form of [`Umac::tag32`]: feed the message in arbitrary
+/// slices, then [`UmacStream::finalize`]. Byte-identical to the one-shot
+/// form, including the single-chunk fast path that skips POLY; the POLY
+/// compression of closed chunk images happens on the fly, so state stays
+/// O(1) regardless of message length and nothing here heap-allocates.
+#[derive(Clone)]
+pub struct UmacStream<'k> {
+    umac: &'k Umac,
+    nonce: u64,
+    /// NH accumulator of the chunk in progress.
+    sum: u64,
+    /// NH key word index of the next 8-byte pair (2 words per pair).
+    ki: usize,
+    /// True byte count of the chunk in progress (including `partial`).
+    chunk_bytes: usize,
+    /// Buffered bytes of an incomplete 8-byte NH pair. The chunk size is a
+    /// multiple of 8, so a partial pair never spans a chunk boundary.
+    partial: [u8; 8],
+    partial_len: usize,
+    /// NH image of the first closed chunk, held back so a single-chunk
+    /// message can skip POLY exactly like [`Umac::hash64`].
+    first: u64,
+    /// POLY accumulator, live once a second chunk value exists.
+    poly_y: u64,
+    chunks: u64,
+}
+
+#[inline]
+fn poly_step(y: u64, key: u64, v: u64) -> u64 {
+    // One POLY iteration: y·k + (v reduced into the field), mod p64.
+    add_mod_p64(mul_mod_p64(y, key), v % P64)
+}
+
+impl UmacStream<'_> {
+    #[inline]
+    fn pair(&mut self, bytes: &[u8]) {
+        let m0 = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        let m1 = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let a = m0.wrapping_add(self.umac.nh_key[self.ki]) as u64;
+        let b = m1.wrapping_add(self.umac.nh_key[self.ki + 1]) as u64;
+        self.sum = self.sum.wrapping_add(a.wrapping_mul(b));
+        self.ki += 2;
+    }
+
+    fn push_value(&mut self, v: u64) {
+        self.chunks += 1;
+        match self.chunks {
+            1 => self.first = v,
+            2 => {
+                let y = poly_step(1, self.umac.poly_key, self.first);
+                self.poly_y = poly_step(y, self.umac.poly_key, v);
+            }
+            _ => self.poly_y = poly_step(self.poly_y, self.umac.poly_key, v),
+        }
+    }
+
+    fn close_chunk(&mut self) {
+        let v = self
+            .sum
+            .wrapping_add((self.chunk_bytes as u64).wrapping_mul(8));
+        self.push_value(v);
+        self.sum = 0;
+        self.ki = 0;
+        self.chunk_bytes = 0;
+    }
+
+    /// Absorb the next `data` bytes of the message.
+    #[inline]
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.partial_len > 0 {
+            let take = (8 - self.partial_len).min(data.len());
+            self.partial[self.partial_len..self.partial_len + take].copy_from_slice(&data[..take]);
+            self.partial_len += take;
+            self.chunk_bytes += take;
+            data = &data[take..];
+            if self.partial_len < 8 {
+                return; // `data` exhausted without completing the pair
+            }
+            let pair = self.partial;
+            self.pair(&pair);
+            self.partial_len = 0;
+            if self.chunk_bytes == NH_CHUNK_BYTES {
+                self.close_chunk();
+            }
+        }
+        // `partial_len == 0` and `chunk_bytes` is a multiple of 8 from
+        // here on; hash whole pairs straight out of the input up to each
+        // chunk boundary.
+        loop {
+            let room = NH_CHUNK_BYTES - self.chunk_bytes;
+            let direct = (data.len() & !7).min(room);
+            if direct == 0 {
+                break;
+            }
+            if direct <= 64 {
+                // A few pairs (typical for header-sized slices and bulk
+                // tails): indexed access skips the iterator setup of the
+                // bulk loop.
+                let mut off = 0;
+                while off < direct {
+                    self.pair(&data[off..off + 8]);
+                    off += 8;
+                }
+            } else {
+                // Zip against the exact key window: the iterator carries
+                // the bounds proof, so the loop compiles to the same
+                // check-free multiply-add chain as the one-shot
+                // [`Umac::nh`] (`ki` tracks `chunk_bytes / 4`, so the
+                // window always fits the key array).
+                let keys = &self.umac.nh_key[self.ki..self.ki + direct / 4];
+                let mut sum = self.sum;
+                for (pair, k) in data[..direct].chunks_exact(8).zip(keys.chunks_exact(2)) {
+                    let m0 = u32::from_le_bytes(pair[0..4].try_into().unwrap());
+                    let m1 = u32::from_le_bytes(pair[4..8].try_into().unwrap());
+                    let a = m0.wrapping_add(k[0]) as u64;
+                    let b = m1.wrapping_add(k[1]) as u64;
+                    sum = sum.wrapping_add(a.wrapping_mul(b));
+                }
+                self.sum = sum;
+                self.ki += direct / 4;
+            }
+            self.chunk_bytes += direct;
+            data = &data[direct..];
+            if self.chunk_bytes == NH_CHUNK_BYTES {
+                self.close_chunk();
+            }
+        }
+        if !data.is_empty() {
+            // Fewer than 8 bytes left: buffer them for the next call.
+            self.partial[..data.len()].copy_from_slice(data);
+            self.partial_len = data.len();
+            self.chunk_bytes += data.len();
+        }
+    }
+
+    /// Finish and return the 32-bit tag. Equals
+    /// `umac.tag32(nonce, message)` for the concatenation of all `update`
+    /// slices.
+    #[inline]
+    pub fn finalize(mut self) -> u32 {
+        if self.partial_len > 0 {
+            let mut padded = [0u8; 8];
+            padded[..self.partial_len].copy_from_slice(&self.partial[..self.partial_len]);
+            self.pair(&padded);
+        }
+        if self.chunk_bytes > 0 || self.chunks == 0 {
+            // Tail chunk — or the empty message, whose NH image is 0.
+            let v = self
+                .sum
+                .wrapping_add((self.chunk_bytes as u64).wrapping_mul(8));
+            self.push_value(v);
+        }
+        let hash = if self.chunks == 1 {
+            self.first
+        } else {
+            self.poly_y
+        };
+        self.umac.l3(hash) ^ self.umac.pad32(self.nonce)
+    }
 }
 
 fn kdf(aes: &Aes128, marker: u8, out: &mut [u8]) {
@@ -298,6 +476,34 @@ mod tests {
         assert_eq!(mul_mod_p64(P64 - 1, P64 - 1), 1); // (-1)^2 = 1 mod p
         assert_eq!(mul_mod_p64(0, 123), 0);
         assert_eq!(mul_mod_p64(1, 123), 123);
+    }
+
+    #[test]
+    fn stream_equals_oneshot_across_sizes_and_splits() {
+        let u = Umac::new(&key(10));
+        for len in [0usize, 1, 7, 8, 9, 20, 1023, 1024, 1025, 2048, 2051, 4096] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let expect = u.tag32(77, &msg);
+            // Whole-message single update.
+            let mut s = u.stream(77);
+            s.update(&msg);
+            assert_eq!(s.finalize(), expect, "len {len} single");
+            // Byte-at-a-time (worst case for the partial-pair buffer).
+            let mut s = u.stream(77);
+            for b in &msg {
+                s.update(std::slice::from_ref(b));
+            }
+            assert_eq!(s.finalize(), expect, "len {len} bytewise");
+            // Splits straddling pair and chunk boundaries.
+            for split in [1usize, 4, 8, 13, 1020, 1024, 1028] {
+                if split <= len {
+                    let mut s = u.stream(77);
+                    s.update(&msg[..split]);
+                    s.update(&msg[split..]);
+                    assert_eq!(s.finalize(), expect, "len {len} split {split}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct Packet {
     pub vcrc: u16,
 }
 
+/// Upper bound on the header bytes of any packet shape (every optional
+/// header present at once) — sizes the stack image in
+/// [`Packet::for_each_icrc_slice`].
+const MAX_HEADER_LEN: usize = LRH_LEN + GRH_LEN + BTH_LEN + DETH_LEN + RETH_LEN + AETH_LEN;
+
 impl Packet {
     /// Total on-wire size in bytes (LRH through VCRC).
     pub fn wire_len(&self) -> usize {
@@ -66,112 +71,153 @@ impl Packet {
         self.payload.len() + self.bth.pad_count as usize
     }
 
+    /// Recompute the length-derived fields only: pad count and LRH packet
+    /// length (in 4-byte words, through the ICRC). The send hot path runs
+    /// this after swapping the payload of a reused packet template, then
+    /// lets the security layer fill `icrc`/`vcrc`.
+    pub fn seal_lengths(&mut self) {
+        self.bth.pad_count = ((4 - (self.payload.len() % 4)) % 4) as u8;
+        let words = (self.header_len() + self.padded_payload_len() + ICRC_LEN) / 4;
+        self.lrh.pkt_len = words as u16;
+    }
+
     /// Recompute the derived fields so the packet is internally consistent:
     /// pad count, LRH packet length (in 4-byte words, through the ICRC),
     /// then ICRC (plain CRC-32 mode) and VCRC. Callers installing an
     /// authentication tag run `seal()` first, then overwrite `icrc` via
     /// [`Packet::set_auth_tag`] and refresh the VCRC.
     pub fn seal(&mut self) {
-        self.bth.pad_count = ((4 - (self.payload.len() % 4)) % 4) as u8;
-        let words = (self.header_len() + self.padded_payload_len() + ICRC_LEN) / 4;
-        self.lrh.pkt_len = words as u16;
+        self.seal_lengths();
         self.icrc = self.compute_icrc();
         self.vcrc = self.compute_vcrc();
     }
 
-    /// Serialize to wire bytes. The packet should be sealed (or have had a
-    /// tag installed) first; this function emits fields verbatim.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.wire_len());
-        out.extend_from_slice(&self.lrh.to_bytes());
-        if let Some(grh) = &self.grh {
-            out.extend_from_slice(&grh.to_bytes());
+    /// Walk the *invariant-field* byte stream the ICRC (and the MAC
+    /// replacing it) covers, as a sequence of in-place slices: headers with
+    /// variant fields masked to ones (LRH.VL; GRH traffic class, flow
+    /// label, hop limit; BTH.Resv8a — IBA spec §7.8.1), then payload and
+    /// pad bytes. Masked headers are rebuilt in stack buffers; the payload
+    /// is visited in place, so no heap allocation happens here. Streaming
+    /// MAC/CRC consumers hang off this visitor.
+    pub fn for_each_icrc_slice(&self, mut f: impl FnMut(&[u8])) {
+        // All masked headers coalesce into one stack image before the
+        // visitor sees them: fewer, larger slices keep streaming MAC
+        // kernels on their bulk path instead of their boundary path.
+        let mut hdr = [0u8; MAX_HEADER_LEN];
+        let mut n = 0;
+        {
+            let lrh = self.lrh.to_bytes();
+            hdr[n..n + lrh.len()].copy_from_slice(&lrh);
+            hdr[n] |= 0xF0; // VL is variant
+            n += lrh.len();
         }
-        out.extend_from_slice(&self.bth.to_bytes());
+        if let Some(grh) = &self.grh {
+            let g = grh.to_bytes();
+            hdr[n..n + g.len()].copy_from_slice(&g);
+            // Traffic class + flow label live in the low 28 bits of word 0.
+            hdr[n] |= 0x0F;
+            hdr[n + 1] = 0xFF;
+            hdr[n + 2] = 0xFF;
+            hdr[n + 3] = 0xFF;
+            hdr[n + 7] = 0xFF; // hop limit
+            n += g.len();
+        }
+        {
+            let bth = self.bth.to_bytes();
+            hdr[n..n + bth.len()].copy_from_slice(&bth);
+            // Resv8a is variant — the selector rides here.
+            hdr[n + BTH_RESV8A_OFFSET] = 0xFF;
+            n += bth.len();
+        }
         if let Some(deth) = &self.deth {
-            out.extend_from_slice(&deth.to_bytes());
+            let b = deth.to_bytes();
+            hdr[n..n + b.len()].copy_from_slice(&b);
+            n += b.len();
         }
         if let Some(reth) = &self.reth {
-            out.extend_from_slice(&reth.to_bytes());
+            let b = reth.to_bytes();
+            hdr[n..n + b.len()].copy_from_slice(&b);
+            n += b.len();
         }
         if let Some(aeth) = &self.aeth {
-            out.extend_from_slice(&aeth.to_bytes());
+            let b = aeth.to_bytes();
+            hdr[n..n + b.len()].copy_from_slice(&b);
+            n += b.len();
         }
-        out.extend_from_slice(&self.payload);
-        out.extend(std::iter::repeat_n(0u8, self.bth.pad_count as usize));
+        f(&hdr[..n]);
+        f(&self.payload);
+        const ZERO_PAD: [u8; 4] = [0; 4];
+        f(&ZERO_PAD[..self.bth.pad_count as usize]);
+    }
+
+    /// Walk the unmasked wire bytes from LRH through the pad (exclusive of
+    /// ICRC/VCRC), as in-place slices. Serialization and the VCRC share
+    /// this walk.
+    fn for_each_wire_slice(&self, mut f: impl FnMut(&[u8])) {
+        f(&self.lrh.to_bytes());
+        if let Some(grh) = &self.grh {
+            f(&grh.to_bytes());
+        }
+        f(&self.bth.to_bytes());
+        if let Some(deth) = &self.deth {
+            f(&deth.to_bytes());
+        }
+        if let Some(reth) = &self.reth {
+            f(&reth.to_bytes());
+        }
+        if let Some(aeth) = &self.aeth {
+            f(&aeth.to_bytes());
+        }
+        f(&self.payload);
+        const ZERO_PAD: [u8; 4] = [0; 4];
+        f(&ZERO_PAD[..self.bth.pad_count as usize]);
+    }
+
+    /// Serialize into a reusable buffer (cleared first, capacity retained
+    /// across calls — the steady-state send path allocates nothing). The
+    /// packet should be sealed (or have had a tag installed) first; this
+    /// emits fields verbatim.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.wire_len());
+        self.for_each_wire_slice(|s| out.extend_from_slice(s));
         out.extend_from_slice(&self.icrc.to_be_bytes());
         out.extend_from_slice(&self.vcrc.to_be_bytes());
+    }
+
+    /// Serialize to freshly-allocated wire bytes. Hot paths prefer
+    /// [`Packet::write_into`] with a reused buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_into(&mut out);
         out
     }
 
-    /// The invariant-field byte stream the ICRC (and the MAC replacing it)
-    /// covers: headers with variant fields masked to ones, then payload and
-    /// pad bytes. Allocates; [`Packet::icrc_over_invariant_fields`] streams
-    /// the same bytes through a CRC without allocating.
+    /// Materialize the invariant-field byte stream into a reusable buffer
+    /// (cleared first, capacity retained across calls). Same bytes as
+    /// [`Packet::for_each_icrc_slice`] visits.
+    pub fn icrc_message_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.header_len() + self.padded_payload_len());
+        self.for_each_icrc_slice(|s| out.extend_from_slice(s));
+    }
+
+    /// The invariant-field byte stream as a fresh allocation. Hot paths
+    /// use [`Packet::for_each_icrc_slice`] (zero-copy) or
+    /// [`Packet::icrc_message_into`] (reused buffer) instead.
     pub fn icrc_message(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.header_len() + self.padded_payload_len());
-        let mut lrh = self.lrh.to_bytes();
-        lrh[0] |= 0xF0; // VL is variant
-        out.extend_from_slice(&lrh);
-        if let Some(grh) = &self.grh {
-            let mut g = grh.to_bytes();
-            // Traffic class + flow label live in the low 28 bits of word 0.
-            g[0] |= 0x0F;
-            g[1] = 0xFF;
-            g[2] = 0xFF;
-            g[3] = 0xFF;
-            g[7] = 0xFF; // hop limit
-            out.extend_from_slice(&g);
-        }
-        let mut bth = self.bth.to_bytes();
-        bth[BTH_RESV8A_OFFSET] = 0xFF; // Resv8a is variant — the selector rides here
-        out.extend_from_slice(&bth);
-        if let Some(deth) = &self.deth {
-            out.extend_from_slice(&deth.to_bytes());
-        }
-        if let Some(reth) = &self.reth {
-            out.extend_from_slice(&reth.to_bytes());
-        }
-        if let Some(aeth) = &self.aeth {
-            out.extend_from_slice(&aeth.to_bytes());
-        }
-        out.extend_from_slice(&self.payload);
-        out.extend(std::iter::repeat_n(0u8, self.bth.pad_count as usize));
+        let mut out = Vec::new();
+        self.icrc_message_into(&mut out);
         out
     }
 
     /// Compute the CRC-32 ICRC over the invariant fields without
-    /// materializing the masked copy.
+    /// materializing the masked copy (slice-by-8 kernel).
     pub fn compute_icrc(&self) -> u32 {
         let mut crc = Crc32::new();
-        let mut lrh = self.lrh.to_bytes();
-        lrh[0] |= 0xF0;
-        crc.update(&lrh);
-        if let Some(grh) = &self.grh {
-            let mut g = grh.to_bytes();
-            g[0] |= 0x0F;
-            g[1] = 0xFF;
-            g[2] = 0xFF;
-            g[3] = 0xFF;
-            g[7] = 0xFF;
-            crc.update(&g);
-        }
-        let mut bth = self.bth.to_bytes();
-        bth[BTH_RESV8A_OFFSET] = 0xFF;
-        crc.update(&bth);
-        if let Some(deth) = &self.deth {
-            crc.update(&deth.to_bytes());
-        }
-        if let Some(reth) = &self.reth {
-            crc.update(&reth.to_bytes());
-        }
-        if let Some(aeth) = &self.aeth {
-            crc.update(&aeth.to_bytes());
-        }
-        crc.update(&self.payload);
-        for _ in 0..self.bth.pad_count {
-            crc.update(&[0]);
-        }
+        self.for_each_icrc_slice(|s| {
+            crc.update_slice8(s);
+        });
         crc.finalize()
     }
 
@@ -186,24 +232,9 @@ impl Packet {
     /// rewrites a variant field).
     pub fn compute_vcrc(&self) -> u16 {
         let mut crc = Crc16::new();
-        crc.update(&self.lrh.to_bytes());
-        if let Some(grh) = &self.grh {
-            crc.update(&grh.to_bytes());
-        }
-        crc.update(&self.bth.to_bytes());
-        if let Some(deth) = &self.deth {
-            crc.update(&deth.to_bytes());
-        }
-        if let Some(reth) = &self.reth {
-            crc.update(&reth.to_bytes());
-        }
-        if let Some(aeth) = &self.aeth {
-            crc.update(&aeth.to_bytes());
-        }
-        crc.update(&self.payload);
-        for _ in 0..self.bth.pad_count {
-            crc.update(&[0]);
-        }
+        self.for_each_wire_slice(|s| {
+            crc.update(s);
+        });
         crc.update(&self.icrc.to_be_bytes());
         crc.finalize()
     }
@@ -478,6 +509,42 @@ mod tests {
             .psn(Psn(1000))
             .payload((0..payload_len).map(|i| i as u8).collect())
             .build()
+    }
+
+    #[test]
+    fn visitor_slices_concatenate_to_icrc_message() {
+        for len in [0usize, 1, 3, 4, 100] {
+            let pkt = rc_packet(len);
+            let mut concat = Vec::new();
+            pkt.for_each_icrc_slice(|s| concat.extend_from_slice(s));
+            assert_eq!(concat, pkt.icrc_message(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn into_forms_match_allocating_forms_and_reuse_buffers() {
+        let mut wire = Vec::new();
+        let mut msg = Vec::new();
+        for len in [1024usize, 0, 3, 100] {
+            // Descending-then-ascending sizes exercise buffer reuse.
+            let pkt = rc_packet(len);
+            pkt.write_into(&mut wire);
+            assert_eq!(wire, pkt.to_bytes(), "wire len {len}");
+            pkt.icrc_message_into(&mut msg);
+            assert_eq!(msg, pkt.icrc_message(), "msg len {len}");
+        }
+    }
+
+    #[test]
+    fn seal_lengths_then_crcs_equals_seal() {
+        let mut a = rc_packet(37);
+        a.payload.extend_from_slice(b"more bytes");
+        let mut b = a.clone();
+        a.seal();
+        b.seal_lengths();
+        b.icrc = b.compute_icrc();
+        b.vcrc = b.compute_vcrc();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -2,11 +2,23 @@
 //!
 //! Replaces the criterion dependency with the subset the workspace's
 //! benches actually use: named groups, per-benchmark warmup, adaptive
-//! batch sizing, mean/stddev over timed samples, and optional bytes/s
-//! throughput reporting. Results print as aligned plain text; trends
-//! matter here, not microsecond-perfect confidence intervals.
+//! batch sizing, summary statistics over timed samples, and optional
+//! bytes/s throughput reporting. Results print as aligned plain text
+//! and serialize to the workspace's standard `BENCH_*.json` document
+//! shape (experiment / seed / config / points) via
+//! [`Harness::to_json`] / [`Harness::write_json`].
+//!
+//! Statistics are criterion-grade rather than raw: each benchmark's
+//! samples pass through Tukey-fence outlier rejection (scheduler
+//! preemptions and frequency-transition spikes land far outside the
+//! inter-quartile fences) before the mean/stddev, and the mean carries a
+//! 95% percentile-bootstrap confidence interval computed with the
+//! workspace's deterministic [`Rng`] so reruns reproduce it bit-exactly.
 
 use std::time::{Duration, Instant};
+
+use crate::json::{Json, ToJson};
+use crate::rng::{Rng, Seed};
 
 /// Sampling parameters. `quick()` keeps smoke runs fast; defaults mirror
 /// the criterion settings the benches used (20 samples, ~2 s measurement,
@@ -39,7 +51,9 @@ impl BenchConfig {
     }
 }
 
-/// One benchmark's measurements.
+/// One benchmark's measurements. Mean/stddev/CI are computed over the
+/// outlier-filtered samples; `min_ns` is over all samples (the fastest
+/// observation is never an artifact worth discarding).
 #[derive(Debug, Clone)]
 pub struct Measurement {
     /// Full benchmark id, `group/name`.
@@ -50,6 +64,12 @@ pub struct Measurement {
     pub stddev_ns: f64,
     /// Fastest sample, ns.
     pub min_ns: f64,
+    /// Lower edge of the 95% bootstrap confidence interval on the mean, ns.
+    pub ci95_lo_ns: f64,
+    /// Upper edge of the 95% bootstrap confidence interval on the mean, ns.
+    pub ci95_hi_ns: f64,
+    /// Samples discarded by the Tukey fences.
+    pub outliers_rejected: u32,
     /// Bytes processed per iteration, if declared.
     pub throughput_bytes: Option<u64>,
 }
@@ -60,6 +80,84 @@ impl Measurement {
         self.throughput_bytes
             .map(|b| b as f64 / (self.mean_ns / 1e9))
     }
+
+    /// JSON object form (one `points` row of the standard document).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("id", self.id.to_json()),
+            ("mean_ns", self.mean_ns.to_json()),
+            ("stddev_ns", self.stddev_ns.to_json()),
+            ("min_ns", self.min_ns.to_json()),
+            ("ci95_lo_ns", self.ci95_lo_ns.to_json()),
+            ("ci95_hi_ns", self.ci95_hi_ns.to_json()),
+            ("outliers_rejected", self.outliers_rejected.to_json()),
+        ];
+        if let Some(bytes) = self.throughput_bytes {
+            pairs.push(("bytes_per_iter", bytes.to_json()));
+            if let Some(bps) = self.bytes_per_sec() {
+                pairs.push(("bytes_per_sec", bps.to_json()));
+            }
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// Linear-interpolation quantile (R type 7, what criterion and numpy
+/// default to) over an ascending-sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Tukey-fence outlier rejection: keep samples inside
+/// `[Q1 - 1.5·IQR, Q3 + 1.5·IQR]`. Returns the survivors and the
+/// rejection count; if fewer than two samples survive (degenerate
+/// spread), the original set is returned untouched.
+fn reject_outliers(samples: &[f64]) -> (Vec<f64>, u32) {
+    if samples.len() < 4 {
+        return (samples.to_vec(), 0);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let q1 = quantile(&sorted, 0.25);
+    let q3 = quantile(&sorted, 0.75);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|s| (lo..=hi).contains(s))
+        .collect();
+    if kept.len() < 2 {
+        return (samples.to_vec(), 0);
+    }
+    let rejected = (samples.len() - kept.len()) as u32;
+    (kept, rejected)
+}
+
+/// Resamples drawn per bootstrap interval.
+const BOOTSTRAP_RESAMPLES: usize = 200;
+
+/// 95% percentile-bootstrap confidence interval on the mean:
+/// [`BOOTSTRAP_RESAMPLES`] with-replacement resample means, 2.5th and
+/// 97.5th percentiles. Deterministic in the caller's RNG.
+fn bootstrap_ci95(samples: &[f64], rng: &mut Rng) -> (f64, f64) {
+    if samples.len() < 2 {
+        let v = samples.first().copied().unwrap_or(0.0);
+        return (v, v);
+    }
+    let mut means = Vec::with_capacity(BOOTSTRAP_RESAMPLES);
+    for _ in 0..BOOTSTRAP_RESAMPLES {
+        let sum: f64 = (0..samples.len())
+            .map(|_| samples[rng.gen_range(0..samples.len())])
+            .sum();
+        means.push(sum / samples.len() as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    (quantile(&means, 0.025), quantile(&means, 0.975))
 }
 
 /// The top-level harness a bench target's `main` drives.
@@ -89,6 +187,18 @@ impl Harness {
         }
     }
 
+    /// Build with explicit sampling and no id filter. The constructor for
+    /// binaries that parse their own CLI (where `from_args`'s
+    /// first-non-flag-argument-is-a-filter convention would eat flag
+    /// values like `--seed 42`).
+    pub fn new(config: BenchConfig) -> Self {
+        Harness {
+            config,
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+
     /// Override sampling (tests use this to stay fast).
     pub fn with_config(mut self, config: BenchConfig) -> Self {
         self.config = config;
@@ -107,6 +217,53 @@ impl Harness {
     /// All measurements taken so far.
     pub fn results(&self) -> &[Measurement] {
         &self.results
+    }
+
+    /// The standard experiment result document: `experiment` / `seed` /
+    /// `config` / `points`, with one point per measurement. `extra`'s
+    /// entries are appended to the sampling parameters inside `config`
+    /// (pass `Json::obj([])` when there are none).
+    pub fn to_json(&self, experiment: &str, seed: Seed, extra: Json) -> Json {
+        let mut config = vec![
+            (
+                "warmup_ms".to_string(),
+                (self.config.warmup.as_millis() as u64).to_json(),
+            ),
+            (
+                "measurement_ms".to_string(),
+                (self.config.measurement.as_millis() as u64).to_json(),
+            ),
+            ("samples".to_string(), self.config.samples.to_json()),
+        ];
+        if let Json::Obj(pairs) = extra {
+            config.extend(pairs);
+        }
+        Json::obj([
+            ("experiment".to_string(), experiment.to_json()),
+            ("seed".to_string(), seed.0.to_json()),
+            ("config".to_string(), Json::Obj(config)),
+            (
+                "points".to_string(),
+                Json::arr(self.results.iter().map(Measurement::to_json)),
+            ),
+        ])
+    }
+
+    /// Write [`Self::to_json`] to `BENCH_<name>.json` in the current
+    /// directory (deterministic, newline-terminated). Returns the path.
+    pub fn write_json(
+        &self,
+        name: &str,
+        experiment: &str,
+        seed: Seed,
+        extra: Json,
+    ) -> std::io::Result<std::path::PathBuf> {
+        let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+        std::fs::write(
+            &path,
+            format!("{}\n", self.to_json(experiment, seed, extra)),
+        )?;
+        Ok(path)
     }
 
     /// Print a closing summary line. Call at the end of `main`.
@@ -169,20 +326,23 @@ impl Group<'_> {
             }
             sample_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
         }
-        let n = sample_ns.len() as f64;
-        let mean = sample_ns.iter().sum::<f64>() / n;
-        let var = sample_ns
-            .iter()
-            .map(|s| (s - mean) * (s - mean))
-            .sum::<f64>()
-            / n;
-        let m = Measurement {
-            id: full_id,
-            mean_ns: mean,
-            stddev_ns: var.sqrt(),
-            min_ns: sample_ns.iter().cloned().fold(f64::INFINITY, f64::min),
-            throughput_bytes: self.throughput_bytes,
-        };
+        self.record(id, &sample_ns);
+        self
+    }
+
+    /// Ingest externally-timed per-iteration samples (ns each) through the
+    /// same statistics pipeline [`Group::bench`] uses. For benchmarks that
+    /// must own their sampling schedule — e.g. interleaving the arms of a
+    /// comparison sample-by-sample so clock-frequency drift shifts all of
+    /// them together instead of whichever arm ran last.
+    pub fn record(&mut self, id: &str, sample_ns: &[f64]) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.harness.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let m = measurement_from_samples(full_id, sample_ns, self.throughput_bytes);
         print_measurement(&m);
         self.harness.results.push(m);
         self
@@ -190,6 +350,33 @@ impl Group<'_> {
 
     /// End the group (marker for readability; groups also end on drop).
     pub fn finish(self) {}
+}
+
+/// Summary statistics over raw per-iteration samples: Tukey-fence outlier
+/// rejection, mean/stddev over survivors, deterministic 95% bootstrap CI.
+fn measurement_from_samples(
+    id: String,
+    sample_ns: &[f64],
+    throughput_bytes: Option<u64>,
+) -> Measurement {
+    let (kept, outliers_rejected) = reject_outliers(sample_ns);
+    let n = kept.len() as f64;
+    let mean = kept.iter().sum::<f64>() / n;
+    let var = kept.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    // Fixed seed: the interval is a property of the samples, and two
+    // reports over the same samples must agree.
+    let mut rng = Rng::from_seed(Seed(0xB007_57A9));
+    let (ci95_lo_ns, ci95_hi_ns) = bootstrap_ci95(&kept, &mut rng);
+    Measurement {
+        id,
+        mean_ns: mean,
+        stddev_ns: var.sqrt(),
+        min_ns: sample_ns.iter().cloned().fold(f64::INFINITY, f64::min),
+        ci95_lo_ns,
+        ci95_hi_ns,
+        outliers_rejected,
+        throughput_bytes,
+    }
 }
 
 fn print_measurement(m: &Measurement) {
@@ -267,6 +454,19 @@ mod tests {
     }
 
     #[test]
+    fn record_runs_the_same_statistics_pipeline_as_bench() {
+        let mut h = Harness::new(tiny());
+        let samples = [10.0, 11.0, 12.0, 13.0, 500.0];
+        h.group("g").throughput_bytes(100).record("r", &samples);
+        let m = &h.results()[0];
+        assert_eq!(m.id, "g/r");
+        assert_eq!(m.outliers_rejected, 1, "the 500 ns spike is fenced out");
+        assert_eq!(m.min_ns, 10.0);
+        assert!((m.mean_ns - 11.5).abs() < 1e-9, "mean over survivors");
+        assert_eq!(m.throughput_bytes, Some(100));
+    }
+
+    #[test]
     fn filter_skips_nonmatching() {
         let mut h = Harness {
             config: tiny(),
@@ -278,6 +478,75 @@ mod tests {
             .bench("match-me-too", || 2);
         assert_eq!(h.results().len(), 1);
         assert_eq!(h.results()[0].id, "g/match-me-too");
+    }
+
+    #[test]
+    fn quantiles_interpolate_linearly() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&sorted, 0.0), 1.0);
+        assert_eq!(quantile(&sorted, 1.0), 4.0);
+        assert_eq!(quantile(&sorted, 0.5), 2.5);
+        assert_eq!(quantile(&sorted, 0.25), 1.75);
+    }
+
+    #[test]
+    fn tukey_fences_reject_the_spike_only() {
+        let mut samples = vec![100.0; 19];
+        samples.push(10_000.0); // scheduler preemption
+        let (kept, rejected) = reject_outliers(&samples);
+        assert_eq!(rejected, 1);
+        assert_eq!(kept.len(), 19);
+        assert!(kept.iter().all(|&s| s == 100.0));
+
+        // Tight clusters lose nothing.
+        let clean: Vec<f64> = (0..20).map(|i| 100.0 + i as f64).collect();
+        let (kept, rejected) = reject_outliers(&clean);
+        assert_eq!((kept.len(), rejected), (20, 0));
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean_and_is_deterministic() {
+        let samples: Vec<f64> = (0..20).map(|i| 90.0 + i as f64).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut rng = Rng::from_seed(Seed(7));
+        let (lo, hi) = bootstrap_ci95(&samples, &mut rng);
+        assert!(lo <= mean && mean <= hi, "{lo} <= {mean} <= {hi}");
+        assert!(lo >= 90.0 && hi <= 109.0, "inside the sample range");
+        let mut rng2 = Rng::from_seed(Seed(7));
+        assert_eq!(bootstrap_ci95(&samples, &mut rng2), (lo, hi));
+    }
+
+    #[test]
+    fn measurement_stats_are_consistent() {
+        let mut h = Harness::new(tiny());
+        h.group("g").bench("work", || std::hint::black_box(1 + 1));
+        let m = &h.results()[0];
+        assert!(m.ci95_lo_ns <= m.mean_ns && m.mean_ns <= m.ci95_hi_ns);
+        assert!(m.min_ns <= m.mean_ns);
+        assert!(m.outliers_rejected < tiny().samples);
+    }
+
+    #[test]
+    fn json_document_has_the_standard_shape() {
+        let mut h = Harness::new(tiny());
+        h.group("g")
+            .throughput_bytes(64)
+            .bench("a", || 1)
+            .bench("b", || 2);
+        let doc = h.to_json("unit", Seed(9), Json::obj([("extra", 5u64.to_json())]));
+        assert_eq!(doc.get("experiment").unwrap().as_str(), Some("unit"));
+        assert_eq!(doc.get("seed").unwrap().as_u64(), Some(9));
+        let cfg = doc.get("config").unwrap();
+        assert_eq!(cfg.get("samples").unwrap().as_u64(), Some(3));
+        assert_eq!(cfg.get("extra").unwrap().as_u64(), Some(5));
+        let points = doc.get("points").unwrap().as_arr().unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].get("id").unwrap().as_str(), Some("g/a"));
+        assert_eq!(points[0].get("bytes_per_iter").unwrap().as_u64(), Some(64));
+        assert!(points[0].get("ci95_lo_ns").is_some());
+        // The document must survive the jsonck round-trip rule.
+        let text = doc.to_string();
+        assert_eq!(Json::parse(&text).unwrap().to_string(), text);
     }
 
     #[test]

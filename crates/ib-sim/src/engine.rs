@@ -27,6 +27,7 @@
 
 use std::collections::VecDeque;
 
+use ib_crypto::Crc32;
 use ib_runtime::{Json, Rng, ToJson};
 
 use ib_mgmt::enforcement::{
@@ -215,6 +216,28 @@ pub struct Simulator {
     /// layout: `node` for the HCA → switch uplink, then
     /// `n + switch * ports_per_switch + port` for each switch output.
     faults: Option<Vec<FaultInjector>>,
+    /// Reusable scratch for [`render_wire_image`]: emit and receive both
+    /// render into this one buffer, so per-hop CRC checks never allocate
+    /// after the first MTU-sized packet.
+    wire_scratch: Vec<u8>,
+}
+
+/// Deterministic stand-in wire image for a [`SimPacket`]: the covered
+/// header fields, then an id-derived fill byte out to the wire size. The
+/// abstract packet carries no real payload, so a reproducible image is
+/// what lets the emitting HCA and the receiving HCA agree on the bytes
+/// the ICRC protects without hauling `mtu_bytes` of state through the
+/// event queue.
+fn render_wire_image(out: &mut Vec<u8>, packet: &SimPacket) {
+    out.clear();
+    out.extend_from_slice(&packet.id.to_be_bytes());
+    out.extend_from_slice(&(packet.src as u32).to_be_bytes());
+    out.extend_from_slice(&(packet.dst as u32).to_be_bytes());
+    out.extend_from_slice(&packet.pkey.0.to_be_bytes());
+    out.push(packet.vl);
+    let fill = (packet.id as u8) ^ (packet.id >> 8) as u8;
+    let len = packet.bytes.max(out.len());
+    out.resize(len, fill);
 }
 
 impl Simulator {
@@ -356,6 +379,7 @@ impl Simulator {
             mtu_tx,
             auth_delay,
             faults,
+            wire_scratch: Vec::new(),
         };
         sim.prime();
         sim
@@ -572,6 +596,15 @@ impl Simulator {
         self.emit_with_pkey(src, dst, class, pkey);
     }
 
+    /// CRC-32 over the packet's rendered wire image (slicing-by-8 — the
+    /// per-hop cost the simulator actually pays, not an abstraction of it).
+    fn wire_icrc(&mut self, packet: &SimPacket) -> u32 {
+        render_wire_image(&mut self.wire_scratch, packet);
+        let mut crc = Crc32::new();
+        crc.update_slice8(&self.wire_scratch);
+        crc.finalize()
+    }
+
     fn emit_with_pkey(&mut self, src: usize, dst: usize, class: TrafficClass, pkey: PKey) {
         self.next_packet_id += 1;
         self.stats.generated += 1;
@@ -583,7 +616,7 @@ impl Simulator {
         } else {
             class.vl()
         };
-        let packet = SimPacket {
+        let mut packet = SimPacket {
             id: self.next_packet_id,
             src,
             dst,
@@ -594,8 +627,10 @@ impl Simulator {
             gen_time: self.now,
             inject_time: 0,
             trap: None,
+            icrc: 0,
             corrupted: false,
         };
+        packet.icrc = self.wire_icrc(&packet);
         // QP-level key management: first contact with a peer pays one RTT
         // before the packet may leave (§4.3 / Figure 6).
         let ready = if self.cfg.auth == AuthMode::QpLevel
@@ -624,7 +659,7 @@ impl Simulator {
     ) {
         self.next_packet_id += 1;
         self.stats.generated += 1;
-        let packet = SimPacket {
+        let mut packet = SimPacket {
             id: self.next_packet_id,
             src,
             dst,
@@ -636,8 +671,10 @@ impl Simulator {
             gen_time: self.now,
             inject_time: 0,
             trap,
+            icrc: 0,
             corrupted: false,
         };
+        packet.icrc = self.wire_icrc(&packet);
         self.hcas[src].send_q[15].push_back((packet, self.now));
         self.schedule_inject(src, self.now);
     }
@@ -939,9 +976,18 @@ impl Simulator {
     // ------------------------------------------------------------- receiving
 
     fn on_hca_receive(&mut self, node: usize, packet: SimPacket) {
-        // Bit flips in transit fail the CRC check before anything else
-        // looks at the packet (VCRC/ICRC precede all header processing).
+        // CRC check before anything else looks at the packet (VCRC/ICRC
+        // precede all header processing): re-render the wire image —
+        // with the transit bit flip, if the fault layer applied one —
+        // recompute, and compare against the CRC stamped at emission.
+        render_wire_image(&mut self.wire_scratch, &packet);
         if packet.corrupted {
+            let mid = self.wire_scratch.len() / 2;
+            self.wire_scratch[mid] ^= 0xFF;
+        }
+        let mut crc = Crc32::new();
+        crc.update_slice8(&self.wire_scratch);
+        if crc.finalize() != packet.icrc {
             self.stats.corrupt_drops += 1;
             self.class_stats(packet.class).dropped += 1;
             return;

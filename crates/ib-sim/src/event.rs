@@ -36,8 +36,13 @@ pub struct SimPacket {
     pub inject_time: SimTime,
     /// For in-band management packets: the trap notice carried in the MAD.
     pub trap: Option<Trap>,
-    /// Set when the fault layer flipped bits in transit; the destination
-    /// HCA's CRC check discards the packet on arrival.
+    /// CRC-32 over the packet's deterministic wire image, computed at
+    /// emission. The destination HCA re-renders the image and recomputes;
+    /// a transit bit flip (below) makes the check fail.
+    pub icrc: u32,
+    /// Set when the fault layer flipped bits in transit; the re-rendered
+    /// image at the destination carries the flip, so the CRC check above
+    /// discards the packet on arrival.
     pub corrupted: bool,
 }
 

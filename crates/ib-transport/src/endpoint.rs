@@ -39,6 +39,17 @@
 //! idempotent (it acknowledges a prefix the sender already advanced
 //! past), and ACK PSNs live in the *data* sequence space, so feeding
 //! them to the data window would poison it.
+//!
+//! ## Zero-allocation send path
+//!
+//! Data and ACK packets are not rebuilt per send. The endpoint keeps two
+//! sealed packet *templates* (`tx_pkt`, `ack_pkt`) whose header stacks
+//! never change for the life of the connection; each transmission only
+//! rewrites the PSN (and payload / AETH), re-runs [`Packet::seal_lengths`]
+//! and the channel seal, and serializes with [`Packet::write_into`] into
+//! a wire buffer drawn from a bounded recycle pool. Once the template
+//! payload capacity and the pool are warm, [`SecureRcEndpoint::poll_into`]
+//! performs no heap allocation.
 
 use std::collections::VecDeque;
 
@@ -49,12 +60,16 @@ use ib_security::{Admit, ChannelSecurity, SecureChannel};
 use ib_sim::SimTime;
 
 use crate::config::RcConfig;
-use crate::qp::{RcQp, RxClass, RxReply, TxItem};
+use crate::qp::{RcQp, RxClass, RxReply};
 
 /// RNR timer code placed in the AETH (the 5-bit IBA encoding is a table
 /// lookup; both ends of this connection share an [`RcConfig`], so the
 /// code is advisory and the sender backs off by `cfg.rnr_timer`).
 const RNR_TIMER_CODE: u8 = 0;
+
+/// Upper bound on pooled wire buffers; excess recycles are dropped so a
+/// burst cannot pin memory forever.
+const POOL_CAP: usize = 64;
 
 /// Per-endpoint transport/security counters (the fig_replay metrics).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -81,12 +96,15 @@ pub struct EndpointStats {
 /// One side of a secure reliable connection: post messages, shuttle wire
 /// buffers, take delivered messages.
 pub struct SecureRcEndpoint {
-    lid: Lid,
-    peer_lid: Lid,
-    qpn: Qpn,
-    pkey: PKey,
     channel: SecureChannel,
     qp: RcQp,
+    /// Sealed data-packet template: headers fixed at construction, only
+    /// PSN / payload / seal change per send.
+    tx_pkt: Packet,
+    /// Sealed ACK/NAK/RNR template: only PSN / AETH / seal change.
+    ack_pkt: Packet,
+    /// Recycled wire buffers (see [`Self::recycle`]).
+    pool: Vec<Vec<u8>>,
     outbox: VecDeque<Vec<u8>>,
     delivered: VecDeque<Vec<u8>>,
     /// Transport/security counters, readable at any time.
@@ -121,13 +139,27 @@ impl SecureRcEndpoint {
                 cfg.window
             );
         }
+        let tx_pkt = PacketBuilder::new(OpCode::RC_SEND_ONLY)
+            .slid(lid)
+            .dlid(peer_lid)
+            .pkey(pkey)
+            .dest_qp(qpn)
+            .psn(Psn(0))
+            .build();
+        let ack_pkt = PacketBuilder::new(OpCode::RC_ACKNOWLEDGE)
+            .slid(lid)
+            .dlid(peer_lid)
+            .pkey(pkey)
+            .dest_qp(qpn)
+            .psn(Psn(0))
+            .ack(0, 0)
+            .build();
         SecureRcEndpoint {
-            lid,
-            peer_lid,
-            qpn,
-            pkey,
             channel,
             qp: RcQp::new(cfg),
+            tx_pkt,
+            ack_pkt,
+            pool: Vec::new(),
             outbox: VecDeque::new(),
             delivered: VecDeque::new(),
             stats: EndpointStats::default(),
@@ -176,18 +208,59 @@ impl SecureRcEndpoint {
 
     /// Run timers and collect every wire buffer this endpoint wants to
     /// transmit now: queued ACK traffic first, then window-permitted data.
+    ///
+    /// Allocating convenience wrapper over [`Self::poll_into`].
     pub fn poll(&mut self, now: SimTime) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// [`Self::poll`], appending into a caller-owned buffer list. Wire
+    /// buffers come from the recycle pool when available; with a warm
+    /// pool and warm templates this performs no heap allocation.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<Vec<u8>>) {
         // Retransmission timer: a rewind makes poll_tx below re-emit.
         self.qp.on_timeout(now);
         // Delayed-ACK timer.
         if let Some(reply) = self.qp.poll_ack(now) {
             self.queue_reply(reply);
         }
-        let mut out: Vec<Vec<u8>> = self.outbox.drain(..).collect();
-        while let Some(item) = self.qp.poll_tx(now) {
-            out.push(self.build_data(&item));
+        out.extend(self.outbox.drain(..));
+        // Destructure: `poll_tx`'s borrow of `qp` must coexist with the
+        // template, channel, and pool.
+        let Self {
+            qp,
+            channel,
+            tx_pkt,
+            pool,
+            ..
+        } = self;
+        while let Some(item) = qp.poll_tx(now) {
+            tx_pkt.bth.psn = Psn(item.psn);
+            tx_pkt.payload.clear();
+            tx_pkt.payload.extend_from_slice(&item.payload);
+            tx_pkt.seal_lengths();
+            // A retransmit rebuilds byte-identical content under the
+            // original PSN, so the seal produces the identical nonce and
+            // tag: on the wire it is indistinguishable from an attacker's
+            // replay.
+            channel
+                .seal(tx_pkt)
+                .expect("partition secret installed at construction");
+            let mut buf = pool.pop().unwrap_or_default();
+            tx_pkt.write_into(&mut buf);
+            out.push(buf);
         }
-        out
+    }
+
+    /// Hand a spent wire buffer back for reuse by a future send. The pool
+    /// is bounded by [`POOL_CAP`]; excess buffers are simply freed.
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.pool.len() < POOL_CAP {
+            buf.clear();
+            self.pool.push(buf);
+        }
     }
 
     /// Process one arriving wire buffer.
@@ -290,42 +363,24 @@ impl SecureRcEndpoint {
         }
     }
 
-    fn build_data(&self, item: &TxItem) -> Vec<u8> {
-        let mut packet = PacketBuilder::new(OpCode::RC_SEND_ONLY)
-            .slid(self.lid)
-            .dlid(self.peer_lid)
-            .pkey(self.pkey)
-            .dest_qp(self.qpn)
-            .psn(Psn(item.psn))
-            .payload(item.payload.clone())
-            .build();
-        // A retransmit rebuilds byte-identical content under the original
-        // PSN, so the seal produces the identical nonce and tag: on the
-        // wire it is indistinguishable from an attacker's replay.
-        self.channel
-            .seal(&mut packet)
-            .expect("partition secret installed at construction");
-        packet.to_bytes()
-    }
-
     fn queue_reply(&mut self, reply: RxReply) {
         let (psn, aeth) = match reply {
             RxReply::Ack { psn, msn } => (psn, Aeth::ack(msn)),
             RxReply::Nak { psn, msn } => (psn, Aeth::nak(NakCode::PsnSequenceError, msn)),
             RxReply::Rnr { psn, msn } => (psn, Aeth::rnr(RNR_TIMER_CODE, msn)),
         };
-        let mut packet = PacketBuilder::new(OpCode::RC_ACKNOWLEDGE)
-            .slid(self.lid)
-            .dlid(self.peer_lid)
-            .pkey(self.pkey)
-            .dest_qp(self.qpn)
-            .psn(Psn(psn))
-            .ack(aeth.syndrome, aeth.msn)
-            .build();
+        self.ack_pkt.bth.psn = Psn(psn);
+        *self
+            .ack_pkt
+            .aeth
+            .as_mut()
+            .expect("ACK template carries AETH") = aeth;
         self.channel
-            .seal(&mut packet)
+            .seal(&mut self.ack_pkt)
             .expect("partition secret installed at construction");
-        self.outbox.push_back(packet.to_bytes());
+        let mut buf = self.pool.pop().unwrap_or_default();
+        self.ack_pkt.write_into(&mut buf);
+        self.outbox.push_back(buf);
     }
 }
 

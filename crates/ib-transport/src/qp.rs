@@ -183,7 +183,11 @@ impl RcQp {
 
     /// Next packet to put on the wire, if the window, RNR back-off and
     /// error state allow one. Arms the retransmission timer.
-    pub fn poll_tx(&mut self, now: SimTime) -> Option<TxItem> {
+    ///
+    /// Returns a borrow of the window entry — posted payloads move into
+    /// the in-flight window and are never cloned, so the steady-state
+    /// send path performs no allocation here.
+    pub fn poll_tx(&mut self, now: SimTime) -> Option<&TxItem> {
         if self.dead {
             return None;
         }
@@ -193,31 +197,29 @@ impl RcQp {
             }
             self.rnr_until = None;
         }
-        let item = if self.resend_cursor < self.in_flight.len() {
-            let item = &mut self.in_flight[self.resend_cursor];
-            item.retransmit = true;
+        let idx = if self.resend_cursor < self.in_flight.len() {
+            let idx = self.resend_cursor;
+            self.in_flight[idx].retransmit = true;
             self.retransmits += 1;
-            let out = item.clone();
             self.resend_cursor += 1;
-            out
+            idx
         } else if (self.in_flight.len() as u32) < self.cfg.window && !self.pending.is_empty() {
             let payload = self.pending.pop_front().unwrap();
-            let item = TxItem {
+            self.in_flight.push_back(TxItem {
                 psn: self.next_psn,
                 payload,
                 retransmit: false,
-            };
+            });
             self.next_psn = psn_add(self.next_psn, 1);
-            self.in_flight.push_back(item.clone());
             self.resend_cursor = self.in_flight.len();
-            item
+            self.in_flight.len() - 1
         } else {
             return None;
         };
         if self.rto_deadline.is_none() {
             self.rto_deadline = Some(now + self.current_rto());
         }
-        Some(item)
+        Some(&self.in_flight[idx])
     }
 
     /// Cumulative ACK: everything through `psn` is received. Releases the
@@ -467,8 +469,8 @@ mod tests {
         assert_eq!(q.on_timeout(rto - 1), TimeoutAction::None);
         assert_eq!(q.on_timeout(rto), TimeoutAction::Rewind);
         // Retransmits carry the original PSNs, in order.
-        let r0 = q.poll_tx(rto).unwrap();
-        let r1 = q.poll_tx(rto).unwrap();
+        let r0 = q.poll_tx(rto).unwrap().clone();
+        let r1 = q.poll_tx(rto).unwrap().clone();
         assert!(r0.retransmit && r1.retransmit);
         assert_eq!((r0.psn, r1.psn), (0, 1));
         assert_eq!(q.retransmits, 2);

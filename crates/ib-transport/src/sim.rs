@@ -245,6 +245,9 @@ struct Sim<'a> {
     /// Earliest Wake already queued per endpoint (dedup).
     next_wake: [Option<SimTime>; 2],
     captured: u64,
+    /// Reused scratch for each pump's wire buffers (the buffers inside
+    /// cycle through the endpoints' recycle pools).
+    wire_out: Vec<Vec<u8>>,
     seen: Vec<bool>,
     post_time: Vec<SimTime>,
     latency: OnlineStats,
@@ -265,13 +268,18 @@ impl Sim<'_> {
     /// Transmit everything endpoint `src` has ready, through the fault
     /// layer, onto its directed link.
     fn pump(&mut self, now: SimTime, src: usize) {
-        let out = self.eps[src].poll(now);
-        for bytes in out {
+        let mut out = std::mem::take(&mut self.wire_out);
+        self.eps[src].poll_into(now, &mut out);
+        for bytes in out.drain(..) {
             let start = self.busy[src].max(now);
             let tx_end = start + tx_time_ps(bytes.len(), self.cfg.gbps);
             self.busy[src] = tx_end;
             match self.faults[src].decide() {
-                ib_sim::FaultOutcome::Drop => self.link_drops += 1,
+                ib_sim::FaultOutcome::Drop => {
+                    self.link_drops += 1;
+                    // The buffer never left this endpoint: give it back.
+                    self.eps[src].recycle(bytes);
+                }
                 ib_sim::FaultOutcome::Deliver {
                     corrupt,
                     extra_delay_ps,
@@ -311,6 +319,7 @@ impl Sim<'_> {
                 }
             }
         }
+        self.wire_out = out;
         self.schedule_wake(now, src);
     }
 
@@ -389,6 +398,7 @@ pub fn run_replay_sim(cfg: &ReplaySimConfig) -> ReplayReport {
         seq: 0,
         next_wake: [None; 2],
         captured: 0,
+        wire_out: Vec::new(),
         seen: vec![false; cfg.messages],
         post_time: vec![0; cfg.messages],
         latency: OnlineStats::new(),
@@ -414,6 +424,7 @@ pub fn run_replay_sim(cfg: &ReplaySimConfig) -> ReplayReport {
         match item.ev {
             Ev::Wire { dst, bytes } => {
                 sim.eps[dst].handle_wire(now, &bytes);
+                sim.eps[dst].recycle(bytes);
                 sim.drain_rx(now);
                 sim.pump(now, dst);
             }
@@ -429,6 +440,7 @@ pub fn run_replay_sim(cfg: &ReplaySimConfig) -> ReplayReport {
                 // sender's own lost-ACK retransmits.
                 let before = sim.eps[1].stats.dup_admitted_fresh;
                 sim.eps[1].handle_wire(now, &bytes);
+                sim.eps[1].recycle(bytes);
                 sim.replays_admitted += sim.eps[1].stats.dup_admitted_fresh - before;
                 sim.drain_rx(now);
                 sim.pump(now, 1);
@@ -450,6 +462,7 @@ pub fn run_replay_sim(cfg: &ReplaySimConfig) -> ReplayReport {
             if let Ev::Inject { bytes } = item.ev {
                 let before = sim.eps[1].stats.dup_admitted_fresh;
                 sim.eps[1].handle_wire(item.at, &bytes);
+                sim.eps[1].recycle(bytes);
                 sim.replays_admitted += sim.eps[1].stats.dup_admitted_fresh - before;
                 sim.drain_rx(item.at);
             }

@@ -267,3 +267,97 @@ fn tagged_packet_wire_invariants() {
         },
     );
 }
+
+/// Every streaming MAC yields the one-shot tag no matter how the message
+/// is sliced into update calls.
+#[test]
+fn streaming_mac_equals_oneshot_across_splits() {
+    check::run(
+        "streaming_mac_equals_oneshot_across_splits",
+        128,
+        |g| {
+            let msg = g.bytes(0..2048);
+            let cuts: Vec<usize> = (0..g.usize_in(0..8))
+                .map(|_| g.index(msg.len() + 1))
+                .collect();
+            let mut key = [0u8; 16];
+            for b in key.iter_mut() {
+                *b = g.u8();
+            }
+            (key, g.u64(), msg, cuts)
+        },
+        check::no_shrink,
+        |&(key, nonce, ref msg, ref cuts)| {
+            let mut cuts = cuts.clone();
+            cuts.sort_unstable();
+            for alg in AuthAlgorithm::ALL {
+                let mac = AnyMac::new(alg, &key);
+                let expected = mac.tag32(nonce, msg);
+                let mut st = mac.stream(nonce);
+                let mut prev = 0;
+                for &cut in &cuts {
+                    st.update(&msg[prev..cut]);
+                    prev = cut;
+                }
+                st.update(&msg[prev..]);
+                assert_eq!(
+                    st.finalize(),
+                    expected,
+                    "{} over {} bytes, cuts {:?}",
+                    alg.name(),
+                    msg.len(),
+                    cuts
+                );
+            }
+        },
+    );
+}
+
+/// The scratch-buffer serialization forms are byte-identical to the
+/// allocating ones for every header combination (GRH present or absent,
+/// DETH/RETH/AETH per opcode), and the ICRC slice walk concatenates to
+/// exactly the materialized ICRC message.
+#[test]
+fn scratch_serialization_matches_allocating_forms() {
+    check::run(
+        "scratch_serialization_matches_allocating_forms",
+        256,
+        |g| {
+            (
+                *g.choose(&OPCODES),
+                g.bool(),
+                g.u16_in(1..100),
+                g.u16_in(1..100),
+                g.u16_in(0x8000..0x9000),
+                g.u32_in(0..0x00FF_FFFF),
+                g.bytes(0..1024),
+            )
+        },
+        |(opcode, grh, slid, dlid, pkey, psn, payload)| {
+            check::shrink_bytes(payload)
+                .into_iter()
+                .map(|p| (*opcode, *grh, *slid, *dlid, *pkey, *psn, p))
+                .collect()
+        },
+        |&(opcode, grh, slid, dlid, pkey, psn, ref payload)| {
+            let mut pkt = build(opcode, slid, dlid, pkey, psn, payload.clone());
+            if grh {
+                pkt.grh = Some(ib_packet::Grh {
+                    sgid: ib_packet::grh::Gid(slid as u128),
+                    dgid: ib_packet::grh::Gid(dlid as u128),
+                    ..Default::default()
+                });
+                pkt.seal();
+            }
+            let mut wire = vec![0xAA; 7]; // stale contents must not leak through
+            pkt.write_into(&mut wire);
+            assert_eq!(wire, pkt.to_bytes(), "write_into == to_bytes");
+            let mut msg = vec![0x55; 3];
+            pkt.icrc_message_into(&mut msg);
+            assert_eq!(msg, pkt.icrc_message(), "icrc_message_into == icrc_message");
+            let mut cat = Vec::new();
+            pkt.for_each_icrc_slice(|s| cat.extend_from_slice(s));
+            assert_eq!(cat, msg, "slice walk concatenates to the ICRC message");
+        },
+    );
+}
