@@ -35,6 +35,22 @@ diff <(normalize_numbers BENCH_mac_throughput.first.json) \
      <(normalize_numbers BENCH_mac_throughput.json)
 rm BENCH_mac_throughput.first.json
 
+echo "== fig1 smoke (twice: results must be byte-identical) =="
+# The scheduler/arena determinism gate: a calendar-queue or packet-arena
+# bug that perturbs event order changes the averaged figure rows, so two
+# same-seed runs diverging fails CI immediately.
+cargo run -q --release --offline -p bench --bin fig1 -- --smoke
+mv BENCH_fig1.json BENCH_fig1.first.json
+cargo run -q --release --offline -p bench --bin fig1 -- --smoke
+diff BENCH_fig1.first.json BENCH_fig1.json
+rm BENCH_fig1.first.json
+
+echo "== sim_engine smoke (scheduler equivalence + calendar-vs-heap gate) =="
+# The binary's own asserts gate (a) all three scheduler arms popping the
+# identical event stream and (b) the calendar queue keeping pace with the
+# compact-key heap on the hold-model workload.
+cargo run -q --release --offline -p bench --bin sim_engine -- --smoke
+
 echo "== jsonck: emitted results parse back through ib_runtime::json =="
 cargo run -q --release --offline -p bench --bin jsonck -- BENCH_*.json
 

@@ -6,7 +6,8 @@
 //! marginally; best-effort suffers more than realtime (VL priority).
 //! Each point averages several random partition/attacker placements.
 //!
-//! Usage: `fig1 [--quick] [--max-attackers N] [--seeds K] [--seed S]`
+//! Usage: `fig1 [--quick|--smoke] [--max-attackers N] [--seeds K] [--seed S]`
+//! (`--smoke` is an alias for `--quick`, matching the other gated binaries).
 
 use bench::{arg_value, bench_doc, render_table, seed_arg, write_bench_json};
 use ib_runtime::{Json, ToJson};
@@ -15,7 +16,7 @@ use ib_sim::time::{MS, US};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
     let max: usize = arg_value(&args, "--max-attackers")
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);

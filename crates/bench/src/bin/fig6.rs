@@ -5,7 +5,8 @@
 //! key exchange costs one RTT per pair, amortized over many messages;
 //! per-message MAC costs one pipeline cycle per end node).
 //!
-//! Usage: `fig6 [--quick] [--all-modes] [--seeds K] [--seed S]`
+//! Usage: `fig6 [--quick|--smoke] [--all-modes] [--seeds K] [--seed S]`
+//! (`--smoke` is an alias for `--quick`, matching the other gated binaries).
 //! (`--all-modes` adds the partition-level ablation row).
 
 use bench::{arg_value, bench_doc, render_table, seed_arg, write_bench_json};
@@ -18,7 +19,7 @@ use ib_sim::time::{MS, US};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
     let modes: &[AuthMode] = if args.iter().any(|a| a == "--all-modes") {
         &[AuthMode::None, AuthMode::PartitionLevel, AuthMode::QpLevel]
     } else {

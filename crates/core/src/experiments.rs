@@ -99,8 +99,19 @@ pub fn run_grid_seed_averaged(bases: &[SimConfig], seeds: u64) -> Vec<AveragedPo
 }
 
 /// Run every configuration, in parallel, preserving order.
+///
+/// Dynamically scheduled: workers pull the next grid×seed cell from an
+/// atomic cursor, because cell costs are wildly skewed — an attack-active
+/// cell generates many times the events of an idle one, so a static chunk
+/// assignment (or one OS thread per cell) straggles. Results land in
+/// slots indexed by input position, so the output — and every
+/// order-sensitive fold over it, like [`average_reports`] — stays
+/// bit-identical no matter which worker ran which cell. Worker count
+/// follows [`ib_runtime::par::default_threads`] (overridable via
+/// `IB_THREADS`).
 pub fn run_many(configs: Vec<SimConfig>) -> Vec<SimReport> {
-    ib_runtime::par::scope_map(configs, |cfg| Simulator::new(cfg).run())
+    let threads = ib_runtime::par::default_threads();
+    ib_runtime::par::scope_map_dynamic(configs, threads, |cfg| Simulator::new(cfg).run())
 }
 
 // ------------------------------------------------------------------ Figure 1

@@ -70,9 +70,73 @@ where
         .collect()
 }
 
-/// A sensible worker count for [`scope_map_bounded`]: the machine's
-/// available parallelism, falling back to 4.
+/// Like [`scope_map_bounded`], but with dynamic scheduling: `threads`
+/// workers pull the next unclaimed index from a shared atomic cursor, so
+/// expensive items (an attack-active simulation cell costs many times an
+/// idle one) don't straggle behind a static chunk assignment. Each worker
+/// writes into the claimed item's pre-sized result slot, so output order —
+/// and thus every order-sensitive fold over the results — is bit-identical
+/// to the serial map regardless of which worker ran which item.
+///
+/// Panics propagate: if any worker panics, the panic resurfaces here.
+pub fn scope_map_dynamic<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let workers = threads.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Mutexes are uncontended by construction (the cursor hands each index
+    // to exactly one worker); they exist to make the slot handoff safe
+    // without unsafe code, and cost nothing next to a work item.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (slots, results, cursor, f) = (&slots, &results, &cursor, &f);
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("cursor hands each index to exactly one worker");
+                *results[i].lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("no worker panicked holding a result slot")
+                .expect("scope_map_dynamic: every slot filled")
+        })
+        .collect()
+}
+
+/// A sensible worker count for the bounded sweeps: the `IB_THREADS` env
+/// var when set to a positive integer (CI and benchmarking control),
+/// otherwise the machine's available parallelism, falling back to 4.
 pub fn default_threads() -> usize {
+    if let Some(n) = std::env::var("IB_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -132,5 +196,50 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn dynamic_matches_serial_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        assert_eq!(scope_map_dynamic(items.clone(), 1, |x| x * 3), serial);
+        assert_eq!(scope_map_dynamic(items.clone(), 8, |x| x * 3), serial);
+        assert_eq!(scope_map_dynamic(items, 200, |x| x * 3), serial);
+    }
+
+    #[test]
+    fn dynamic_empty_input() {
+        let out: Vec<u32> = scope_map_dynamic(Vec::<u32>::new(), 8, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dynamic_balances_skewed_work() {
+        use std::time::Duration;
+        // Front-loaded cost: item 0 is ~20x the rest. Static chunking
+        // serializes behind the chunk holding it; the dynamic cursor lets
+        // the other workers drain the cheap tail meanwhile. We assert
+        // correctness (order preserved), not wall-clock — timing asserts
+        // flake under CI load.
+        let items: Vec<u64> = (0..32).collect();
+        let out = scope_map_dynamic(items, 4, |x| {
+            std::thread::sleep(Duration::from_millis(if x == 0 { 20 } else { 1 }));
+            x + 1
+        });
+        assert_eq!(out, (1..=32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn ib_threads_env_overrides() {
+        // Env mutation is process-global; this test sets and restores the
+        // variable, and no other test in this binary reads it mid-flight
+        // with a value-sensitive assertion.
+        std::env::set_var("IB_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("IB_THREADS", "not-a-number");
+        assert!(default_threads() >= 1, "garbage falls back to autodetect");
+        std::env::set_var("IB_THREADS", "0");
+        assert!(default_threads() >= 1, "zero is rejected");
+        std::env::remove_var("IB_THREADS");
     }
 }

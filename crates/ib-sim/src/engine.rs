@@ -39,6 +39,7 @@ use ib_mgmt::sm::SubnetManager;
 use ib_mgmt::trap::TrapThrottle;
 use ib_packet::types::PKey;
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::config::{ArbitrationPolicy, AttackKeys, AuthMode, SimConfig};
 use crate::event::{Event, EventQueue, SimPacket};
 use crate::fault::{FaultInjector, FaultOutcome};
@@ -69,7 +70,7 @@ struct SwitchState {
 /// A packet in an input buffer plus the lookup cycles its admission cost
 /// (charged when the output port serves it).
 struct QueuedPacket {
-    packet: SimPacket,
+    packet: PacketRef,
     lookup_cycles: u64,
 }
 
@@ -77,7 +78,7 @@ struct QueuedPacket {
 struct HcaState {
     /// Per-VL send queues (paired with each packet's earliest-ready time,
     /// which models the QP-level key-exchange hold).
-    send_q: Vec<VecDeque<(SimPacket, SimTime)>>,
+    send_q: Vec<VecDeque<(PacketRef, SimTime)>>,
     tx_busy_until: SimTime,
     inject_pending: bool,
     /// Credits toward the attached switch's host port, per VL.
@@ -220,6 +221,13 @@ pub struct Simulator {
     /// render into this one buffer, so per-hop CRC checks never allocate
     /// after the first MTU-sized packet.
     wire_scratch: Vec<u8>,
+    /// In-flight packet storage: queues and events carry [`PacketRef`]
+    /// indices; each packet is inserted once at emission and released
+    /// once at its terminal point (delivery or drop).
+    packets: PacketArena,
+    /// Events popped so far (the `sim_engine` bench's events/sec
+    /// numerator).
+    events_processed: u64,
 }
 
 /// Deterministic stand-in wire image for a [`SimPacket`]: the covered
@@ -238,6 +246,18 @@ fn render_wire_image(out: &mut Vec<u8>, packet: &SimPacket) {
     let fill = (packet.id as u8) ^ (packet.id >> 8) as u8;
     let len = packet.bytes.max(out.len());
     out.resize(len, fill);
+}
+
+/// CRC-32 over the packet's rendered wire image (slicing-by-8 — the
+/// emission cost the simulator actually pays, not an abstraction of it).
+/// Computed once per packet at emission; the receive side trusts the
+/// cached tag unless the fault layer touched the packet in transit, since
+/// an untouched packet re-renders bit-identically by construction.
+fn wire_icrc(scratch: &mut Vec<u8>, packet: &SimPacket) -> u32 {
+    render_wire_image(scratch, packet);
+    let mut crc = Crc32::new();
+    crc.update_slice8(scratch);
+    crc.finalize()
 }
 
 impl Simulator {
@@ -380,6 +400,8 @@ impl Simulator {
             auth_delay,
             faults,
             wire_scratch: Vec::new(),
+            packets: PacketArena::new(),
+            events_processed: 0,
         };
         sim.prime();
         sim
@@ -438,10 +460,17 @@ impl Simulator {
     }
 
     /// Run to completion and return the report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_counted().0
+    }
+
+    /// Run to completion, also returning the number of events processed
+    /// (the `sim_engine` bench divides by wall-clock for events/sec).
+    pub fn run_counted(mut self) -> (SimReport, u64) {
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
+            self.events_processed += 1;
             self.handle(ev);
         }
         if self.attack_active {
@@ -453,7 +482,7 @@ impl Simulator {
         } else {
             0.0
         };
-        self.stats
+        (self.stats, self.events_processed)
     }
 
     fn handle(&mut self, ev: Event) {
@@ -596,15 +625,6 @@ impl Simulator {
         self.emit_with_pkey(src, dst, class, pkey);
     }
 
-    /// CRC-32 over the packet's rendered wire image (slicing-by-8 — the
-    /// per-hop cost the simulator actually pays, not an abstraction of it).
-    fn wire_icrc(&mut self, packet: &SimPacket) -> u32 {
-        render_wire_image(&mut self.wire_scratch, packet);
-        let mut crc = Crc32::new();
-        crc.update_slice8(&self.wire_scratch);
-        crc.finalize()
-    }
-
     fn emit_with_pkey(&mut self, src: usize, dst: usize, class: TrafficClass, pkey: PKey) {
         self.next_packet_id += 1;
         self.stats.generated += 1;
@@ -630,7 +650,11 @@ impl Simulator {
             icrc: 0,
             corrupted: false,
         };
-        packet.icrc = self.wire_icrc(&packet);
+        // Emission-time ICRC — only consulted when the fault layer can
+        // corrupt packets in transit, so fault-free runs skip it.
+        if self.faults.is_some() {
+            packet.icrc = wire_icrc(&mut self.wire_scratch, &packet);
+        }
         // QP-level key management: first contact with a peer pays one RTT
         // before the packet may leave (§4.3 / Figure 6).
         let ready = if self.cfg.auth == AuthMode::QpLevel
@@ -643,7 +667,8 @@ impl Simulator {
             self.now
         };
         let vl = packet.vl as usize;
-        self.hcas[src].send_q[vl].push_back((packet, ready));
+        let pref = self.packets.insert(packet);
+        self.hcas[src].send_q[vl].push_back((pref, ready));
         self.schedule_inject(src, ready);
     }
 
@@ -674,8 +699,11 @@ impl Simulator {
             icrc: 0,
             corrupted: false,
         };
-        packet.icrc = self.wire_icrc(&packet);
-        self.hcas[src].send_q[15].push_back((packet, self.now));
+        if self.faults.is_some() {
+            packet.icrc = wire_icrc(&mut self.wire_scratch, &packet);
+        }
+        let pref = self.packets.insert(packet);
+        self.hcas[src].send_q[15].push_back((pref, self.now));
         self.schedule_inject(src, self.now);
     }
 
@@ -719,13 +747,17 @@ impl Simulator {
             }
             return;
         };
-        let (mut packet, _) = self.hcas[node].send_q[vl].pop_front().unwrap();
+        let (pref, _) = self.hcas[node].send_q[vl].pop_front().unwrap();
         self.hcas[node].credits[vl] -= 1;
         // MAC generation occupies the sender before the first byte (§6:
         // "one additional stage at each end node per message").
         let start = self.now + self.auth_delay;
-        packet.inject_time = start;
-        let tx_end = start + tx_time_ps(packet.bytes, self.cfg.link_gbps);
+        let (bytes, class, pvl) = {
+            let packet = self.packets.get_mut(pref);
+            packet.inject_time = start;
+            (packet.bytes, packet.class, packet.vl)
+        };
+        let tx_end = start + tx_time_ps(bytes, self.cfg.link_gbps);
         self.hcas[node].tx_busy_until = tx_end;
         let arrival = tx_end + self.cfg.propagation_delay;
         match self.link_fault(node) {
@@ -733,27 +765,21 @@ impl Simulator {
                 // The switch never sees the packet, so it can't return the
                 // buffer credit — model the slot as freeing on arrival.
                 self.stats.link_drops += 1;
-                self.class_stats(packet.class).dropped += 1;
-                self.queue.push(
-                    arrival,
-                    Event::HcaCredit {
-                        node,
-                        vl: packet.vl,
-                    },
-                );
+                self.class_stats(class).dropped += 1;
+                self.packets.release(pref);
+                self.queue.push(arrival, Event::HcaCredit { node, vl: pvl });
             }
             FaultOutcome::Deliver {
                 corrupt,
                 extra_delay_ps,
             } => {
-                let mut packet = packet;
-                packet.corrupted |= corrupt;
+                self.packets.get_mut(pref).corrupted |= corrupt;
                 self.queue.push(
                     arrival + extra_delay_ps,
                     Event::SwitchArrive {
                         switch: node,
                         port: PORT_HOST,
-                        packet,
+                        packet: pref,
                     },
                 );
             }
@@ -764,12 +790,16 @@ impl Simulator {
 
     // ------------------------------------------------------------- switching
 
-    fn on_switch_arrive(&mut self, switch: usize, port: usize, packet: SimPacket) {
+    fn on_switch_arrive(&mut self, switch: usize, port: usize, pref: PacketRef) {
+        let (pvl, src, dst, pkey, class) = {
+            let packet = self.packets.get(pref);
+            (packet.vl, packet.src, packet.dst, packet.pkey, packet.class)
+        };
         let is_edge = port == PORT_HOST;
         // Management packets cross partition enforcement unchecked — "a
         // management packet can reach SM regardless of its partition" (§7),
         // which is precisely what makes the SM-flood attack possible.
-        let check = if packet.vl == 15 {
+        let check = if pvl == 15 {
             ib_mgmt::enforcement::FilterCheck {
                 decision: FilterDecision::Pass,
                 lookup_cycles: 0,
@@ -779,21 +809,22 @@ impl Simulator {
                 self.now,
                 port,
                 is_edge,
-                self.topo.lid_of(packet.src),
-                packet.pkey,
+                self.topo.lid_of(src),
+                pkey,
             )
         };
         self.stats.lookup_cycles += check.lookup_cycles;
         if check.decision == FilterDecision::Drop {
             self.stats.filter_drops += 1;
-            self.class_stats(packet.class).dropped += 1;
-            self.return_credit(switch, port, packet.vl);
+            self.class_stats(class).dropped += 1;
+            self.packets.release(pref);
+            self.return_credit(switch, port, pvl);
             return;
         }
-        let vl = packet.vl as usize;
-        let out_port = self.topo.route(switch, packet.dst);
+        let vl = pvl as usize;
+        let out_port = self.topo.route(switch, dst);
         self.switches[switch].in_q[port][vl].push_back(QueuedPacket {
-            packet,
+            packet: pref,
             lookup_cycles: check.lookup_cycles,
         });
         self.schedule_forward(switch, out_port, self.now + self.cfg.switch_latency);
@@ -838,7 +869,7 @@ impl Simulator {
             for k in 0..nports {
                 let in_port = (start + k) % nports;
                 if let Some(head) = self.switches[switch].in_q[in_port][vl].front() {
-                    if self.topo.route(switch, head.packet.dst) == out_port {
+                    if self.topo.route(switch, self.packets.get(head.packet).dst) == out_port {
                         if vl > 0 {
                             best_high = Some((in_port, vl));
                         } else {
@@ -873,10 +904,14 @@ impl Simulator {
         }
         self.switches[switch].rr[out_port] = (in_port + 1) % nports;
         let qp = self.switches[switch].in_q[in_port][vl].pop_front().unwrap();
-        let packet = qp.packet;
+        let pref = qp.packet;
+        let (bytes, class) = {
+            let packet = self.packets.get(pref);
+            (packet.bytes, packet.class)
+        };
         // Service time: enforcement lookups + store-and-forward transmit.
         let service =
-            qp.lookup_cycles * self.cfg.cycle_time + tx_time_ps(packet.bytes, self.cfg.link_gbps);
+            qp.lookup_cycles * self.cfg.cycle_time + tx_time_ps(bytes, self.cfg.link_gbps);
         let tx_end = self.now + service;
         self.switches[switch].out_busy_until[out_port] = tx_end;
         match peer {
@@ -891,7 +926,8 @@ impl Simulator {
                         // Downstream never sees the packet; its buffer slot
                         // credit comes back as if freed on arrival.
                         self.stats.link_drops += 1;
-                        self.class_stats(packet.class).dropped += 1;
+                        self.class_stats(class).dropped += 1;
+                        self.packets.release(pref);
                         self.queue.push(
                             arrival,
                             Event::SwitchCredit {
@@ -905,14 +941,13 @@ impl Simulator {
                         corrupt,
                         extra_delay_ps,
                     } => {
-                        let mut packet = packet;
-                        packet.corrupted |= corrupt;
+                        self.packets.get_mut(pref).corrupted |= corrupt;
                         self.queue.push(
                             arrival + extra_delay_ps,
                             Event::SwitchArrive {
                                 switch: next,
                                 port: next_port,
-                                packet,
+                                packet: pref,
                             },
                         );
                     }
@@ -923,16 +958,18 @@ impl Simulator {
                 match self.link_fault(self.switch_link(switch, out_port)) {
                     FaultOutcome::Drop => {
                         self.stats.link_drops += 1;
-                        self.class_stats(packet.class).dropped += 1;
+                        self.class_stats(class).dropped += 1;
+                        self.packets.release(pref);
                     }
                     FaultOutcome::Deliver {
                         corrupt,
                         extra_delay_ps,
                     } => {
-                        let mut packet = packet;
-                        packet.corrupted |= corrupt;
-                        self.queue
-                            .push(arrival + extra_delay_ps, Event::HcaReceive { node, packet });
+                        self.packets.get_mut(pref).corrupted |= corrupt;
+                        self.queue.push(
+                            arrival + extra_delay_ps,
+                            Event::HcaReceive { node, packet: pref },
+                        );
                     }
                 }
             }
@@ -943,8 +980,10 @@ impl Simulator {
         // The queue we popped from has a new head that may want a
         // *different* output port — wake that port, or packets behind a
         // departed head would wait for an unrelated arrival (HOL stall).
-        if let Some(next) = self.switches[switch].in_q[in_port][vl].front() {
-            let next_out = self.topo.route(switch, next.packet.dst);
+        let next_out = self.switches[switch].in_q[in_port][vl]
+            .front()
+            .map(|next| self.topo.route(switch, self.packets.get(next.packet).dst));
+        if let Some(next_out) = next_out {
             if next_out != out_port {
                 self.schedule_forward(switch, next_out, self.now);
             }
@@ -975,23 +1014,30 @@ impl Simulator {
 
     // ------------------------------------------------------------- receiving
 
-    fn on_hca_receive(&mut self, node: usize, packet: SimPacket) {
+    fn on_hca_receive(&mut self, node: usize, pref: PacketRef) {
         // CRC check before anything else looks at the packet (VCRC/ICRC
-        // precede all header processing): re-render the wire image —
-        // with the transit bit flip, if the fault layer applied one —
-        // recompute, and compare against the CRC stamped at emission.
-        render_wire_image(&mut self.wire_scratch, &packet);
-        if packet.corrupted {
+        // precede all header processing). Untouched packets re-render
+        // bit-identically by construction, so their cached emission-time
+        // ICRC is authoritative and verification is skipped; only packets
+        // the fault layer flipped in transit get the full re-render —
+        // with the transit bit flip — recompute, and compare against the
+        // CRC stamped at emission.
+        if self.packets.get(pref).corrupted {
+            render_wire_image(&mut self.wire_scratch, self.packets.get(pref));
             let mid = self.wire_scratch.len() / 2;
             self.wire_scratch[mid] ^= 0xFF;
+            let mut crc = Crc32::new();
+            crc.update_slice8(&self.wire_scratch);
+            if crc.finalize() != self.packets.get(pref).icrc {
+                self.stats.corrupt_drops += 1;
+                let class = self.packets.release(pref).class;
+                self.class_stats(class).dropped += 1;
+                return;
+            }
         }
-        let mut crc = Crc32::new();
-        crc.update_slice8(&self.wire_scratch);
-        if crc.finalize() != packet.icrc {
-            self.stats.corrupt_drops += 1;
-            self.class_stats(packet.class).dropped += 1;
-            return;
-        }
+        // The HCA is the packet's terminal point on every path below:
+        // take it out of the arena and recycle the slot.
+        let packet = self.packets.release(pref);
         // Management datagrams: no partition check, no data statistics.
         if packet.vl == 15 {
             self.stats.mgmt_delivered += 1;

@@ -28,6 +28,7 @@
 //! entry to delivery), split by traffic class, with mean and standard
 //! deviation.
 
+pub mod arena;
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -37,6 +38,7 @@ pub mod time;
 pub mod topology;
 pub mod traffic;
 
+pub use arena::{PacketArena, PacketRef};
 pub use config::{ArbitrationPolicy, AttackKeys, AuthMode, SimConfig, TrafficConfig};
 pub use engine::{SimReport, Simulator};
 pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
