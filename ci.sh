@@ -45,6 +45,18 @@ cargo run -q --release --offline -p bench --bin fig1 -- --smoke
 diff BENCH_fig1.first.json BENCH_fig1.json
 rm BENCH_fig1.first.json
 
+echo "== fig_rdma smoke (twice: results must be byte-identical) =="
+# The transport-over-fabric gate: SEND / RDMA WRITE / RDMA READ across
+# the attacked mesh. The binary's own asserts require 100% delivery,
+# zero admitted replays, and selective-repeat >= go-back-N goodput under
+# loss; the byte-diff pins the whole co-simulation (endpoints + fabric
+# event order) to the seed.
+cargo run -q --release --offline -p bench --bin fig_rdma -- --smoke
+mv BENCH_fig_rdma.json BENCH_fig_rdma.first.json
+cargo run -q --release --offline -p bench --bin fig_rdma -- --smoke
+diff BENCH_fig_rdma.first.json BENCH_fig_rdma.json
+rm BENCH_fig_rdma.first.json
+
 echo "== sim_engine smoke (scheduler equivalence + calendar-vs-heap gate) =="
 # The binary's own asserts gate (a) all three scheduler arms popping the
 # identical event stream and (b) the calendar queue keeping pace with the

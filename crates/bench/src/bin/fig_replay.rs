@@ -8,16 +8,40 @@
 //! replay-window arm admits zero attacker replays — the other two
 //! deliver the attacker's byte-identical duplicates to the application.
 //!
+//! Two transports run the same sweep:
+//!
+//! * **p2p** — the original point-to-point harness
+//!   ([`ib_transport::sim`]), kept as the determinism oracle: its
+//!   per-point reports are byte-diffed against a pre-refactor golden
+//!   capture (`tests/golden/fig_replay_oracle_pre_refactor.json`) when
+//!   the seed and message count match, proving the transport/fabric
+//!   refactor did not perturb the oracle path.
+//! * **mesh** — the same endpoints attached to HCAs of the 16-node
+//!   [`ib_sim`] fabric ([`ib_transport::fabric`]), where replays ride
+//!   real VL arbitration and per-link faults.
+//!
 //! Usage: `fig_replay [--smoke] [--messages N] [--seed S]`
 
 use bench::{arg_value, bench_doc, render_table, seed_arg, write_bench_json};
 use ib_runtime::{Json, ToJson};
 use ib_security::ChannelSecurity;
+use ib_sim::time::MS;
 use ib_sim::FaultConfig;
-use ib_transport::{run_replay_sim, ReplayReport, ReplaySimConfig};
+use ib_transport::{
+    run_fabric_sim, run_replay_sim, FabricReport, FabricSimConfig, RdmaOp, ReplayReport,
+    ReplaySimConfig,
+};
 
 /// Link loss probabilities swept on the x-axis (0–5%).
 const LOSSES: [f64; 5] = [0.0, 0.005, 0.01, 0.02, 0.05];
+
+/// Pre-refactor capture of the point-to-point arm (same seed, smoke
+/// message count). Resolved relative to the crate so the check works
+/// from any working directory.
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/fig_replay_oracle_pre_refactor.json"
+);
 
 fn config_for(seed: u64, messages: usize, loss: f64, security: ChannelSecurity) -> ReplaySimConfig {
     ReplaySimConfig {
@@ -29,6 +53,66 @@ fn config_for(seed: u64, messages: usize, loss: f64, security: ChannelSecurity) 
     }
 }
 
+fn mesh_config_for(
+    seed: u64,
+    messages: usize,
+    loss: f64,
+    security: ChannelSecurity,
+) -> FabricSimConfig {
+    let mut cfg = FabricSimConfig {
+        seed,
+        security,
+        op: RdmaOp::Send,
+        messages,
+        payload_len: 256,
+        ..FabricSimConfig::default()
+    };
+    cfg.sim.duration = 5 * MS;
+    cfg.sim.fault = FaultConfig::lossy(loss, 50_000);
+    cfg
+}
+
+/// Byte-diff the freshly-run p2p reports against the pre-refactor golden
+/// capture. Only the per-point `report` objects are compared: the config
+/// schema legitimately grew (`rc` gained MTU/retransmit knobs) but the
+/// oracle's *behavior* must be bit-identical at the golden's seed.
+fn check_golden(seed: u64, messages: usize, points: &[(f64, ChannelSecurity, ReplayReport)]) {
+    let Ok(text) = std::fs::read_to_string(GOLDEN_PATH) else {
+        println!("golden oracle check: capture not found, skipped");
+        return;
+    };
+    let golden = Json::parse(&text).expect("golden capture parses");
+    let g_seed = golden.get("seed").and_then(Json::as_u64);
+    let g_messages = golden
+        .get("config")
+        .and_then(|c| c.get("messages"))
+        .and_then(Json::as_u64);
+    if g_seed != Some(seed) || g_messages != Some(messages as u64) {
+        println!(
+            "golden oracle check: skipped (captured at seed {:?}, {:?} messages)",
+            g_seed, g_messages
+        );
+        return;
+    }
+    let g_points = golden.get("points").and_then(Json::as_arr).expect("points");
+    assert_eq!(g_points.len(), points.len(), "golden point count");
+    for (g, (loss, arm, r)) in g_points.iter().zip(points) {
+        let want = g.get("report").expect("golden report").to_string();
+        let got = r.to_json().to_string();
+        assert_eq!(
+            want,
+            got,
+            "p2p oracle diverged from pre-refactor capture at {}% / {}",
+            loss * 100.0,
+            arm.label()
+        );
+    }
+    println!(
+        "golden oracle check: {} p2p reports byte-identical to the pre-refactor capture",
+        g_points.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
@@ -38,10 +122,13 @@ fn main() {
     let seed = seed_arg(&args);
 
     let mut points: Vec<(f64, ChannelSecurity, ReplayReport)> = Vec::new();
+    let mut mesh_points: Vec<(f64, ChannelSecurity, FabricReport)> = Vec::new();
     for &loss in &LOSSES {
         for &arm in &ChannelSecurity::ALL {
             let cfg = config_for(seed.0, messages, loss, arm);
             points.push((loss, arm, run_replay_sim(&cfg)));
+            let mesh = mesh_config_for(seed.0, messages, loss, arm);
+            mesh_points.push((loss, arm, run_fabric_sim(&mesh)));
         }
     }
 
@@ -49,10 +136,24 @@ fn main() {
         "Replay defense under loss: goodput / latency / attacker outcome \
          (seed {seed}, {messages} messages/point)"
     );
-    let table: Vec<Vec<String>> = points
+    let header = [
+        "transport",
+        "loss",
+        "arm",
+        "delivered",
+        "goodput (Gb/s)",
+        "latency (us)",
+        "retrans",
+        "replays inj",
+        "replays admitted",
+        "dups delivered",
+        "dups suppressed",
+    ];
+    let mut table: Vec<Vec<String>> = points
         .iter()
         .map(|(loss, arm, r)| {
             vec![
+                "p2p".to_string(),
                 format!("{:.1}%", loss * 100.0),
                 arm.label().to_string(),
                 format!("{}/{}", r.delivered, r.expected),
@@ -66,30 +167,28 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "loss",
-                "arm",
-                "delivered",
-                "goodput (Gb/s)",
-                "latency (us)",
-                "retrans",
-                "replays inj",
-                "replays admitted",
-                "dups delivered",
-                "dups suppressed"
-            ],
-            &table
-        )
-    );
+    table.extend(mesh_points.iter().map(|(loss, arm, r)| {
+        vec![
+            "mesh".to_string(),
+            format!("{:.1}%", loss * 100.0),
+            arm.label().to_string(),
+            format!("{}/{}", r.delivered, r.expected),
+            format!("{:.3}", r.goodput_gbps),
+            format!("{:.2}", r.latency_us.mean()),
+            r.retransmits.to_string(),
+            r.replays_injected.to_string(),
+            r.replays_admitted.to_string(),
+            r.duplicates_delivered.to_string(),
+            r.dup_suppressed.to_string(),
+        ]
+    }));
+    println!("{}", render_table(&header, &table));
 
-    // ---- acceptance assertions ----
+    // ---- acceptance assertions (both transports) ----
     for (loss, arm, r) in &points {
         assert!(
             r.delivered == r.expected && !r.failed && !r.timed_out,
-            "{}% / {}: 100% eventual delivery required, got {}/{}",
+            "p2p {}% / {}: 100% eventual delivery required, got {}/{}",
             loss * 100.0,
             arm.label(),
             r.delivered,
@@ -99,19 +198,50 @@ fn main() {
             assert_eq!(
                 r.replays_admitted,
                 0,
-                "{}%: replay window must admit zero attacker replays",
+                "p2p {}%: replay window must admit zero attacker replays",
                 loss * 100.0
             );
             assert_eq!(
                 r.duplicates_delivered,
                 0,
-                "{}%: no duplicate ever reaches the application",
+                "p2p {}%: no duplicate ever reaches the application",
                 loss * 100.0
             );
         } else if *loss > 0.0 || r.replays_injected > 0 {
             assert!(
                 r.replays_admitted > 0,
-                "{}% / {}: without the window the attack must succeed",
+                "p2p {}% / {}: without the window the attack must succeed",
+                loss * 100.0,
+                arm.label()
+            );
+        }
+    }
+    for (loss, arm, r) in &mesh_points {
+        assert!(
+            r.delivered == r.expected && !r.failed && !r.timed_out,
+            "mesh {}% / {}: 100% eventual delivery required, got {}/{}",
+            loss * 100.0,
+            arm.label(),
+            r.delivered,
+            r.expected
+        );
+        if *arm == ChannelSecurity::AuthReplay {
+            assert_eq!(
+                r.replays_admitted,
+                0,
+                "mesh {}%: replay window must admit zero attacker replays",
+                loss * 100.0
+            );
+            assert_eq!(
+                r.duplicates_delivered,
+                0,
+                "mesh {}%: no duplicate ever reaches the application",
+                loss * 100.0
+            );
+        } else if r.replays_injected > 0 {
+            assert!(
+                r.replays_admitted > 0,
+                "mesh {}% / {}: without the window the attack must succeed",
                 loss * 100.0,
                 arm.label()
             );
@@ -137,6 +267,10 @@ fn main() {
         again.to_json().to_string(),
         "identical output across two same-seed runs"
     );
+
+    // The refactor proof: the oracle path still produces the pre-refactor
+    // bytes at the golden's seed.
+    check_golden(seed.0, messages, &points);
     println!("OK: 100% delivery on every arm; zero admitted replays with the window.");
 
     let doc = bench_doc(
@@ -149,17 +283,30 @@ fn main() {
                 "base",
                 config_for(seed.0, messages, 0.0, ChannelSecurity::AuthReplay).to_json(),
             ),
+            (
+                "mesh_base",
+                mesh_config_for(seed.0, messages, 0.0, ChannelSecurity::AuthReplay).to_json(),
+            ),
             ("smoke", smoke.to_json()),
         ]),
         points
             .iter()
             .map(|(loss, arm, r)| {
                 Json::obj([
+                    ("transport", "p2p".to_json()),
                     ("loss", loss.to_json()),
                     ("security", arm.label().to_json()),
                     ("report", r.to_json()),
                 ])
             })
+            .chain(mesh_points.iter().map(|(loss, arm, r)| {
+                Json::obj([
+                    ("transport", "mesh".to_json()),
+                    ("loss", loss.to_json()),
+                    ("security", arm.label().to_json()),
+                    ("report", r.to_json()),
+                ])
+            }))
             .collect(),
     );
     let path = write_bench_json("fig_replay", &doc).expect("write BENCH_fig_replay.json");

@@ -41,7 +41,7 @@ pub use error::ParseError;
 pub use eth::{Aeth, AethKind, Deth, ImmDt, NakCode, Reth};
 pub use grh::Grh;
 pub use lrh::{Lnh, Lrh};
-pub use opcode::{OpCode, TransportService};
+pub use opcode::{OpCode, Operation, TransportService};
 pub use packet::{Packet, PacketBuilder};
 pub use types::{Lid, PKey, Psn, QKey, Qpn, RKey, VirtualLane};
 

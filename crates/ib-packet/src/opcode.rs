@@ -53,6 +53,7 @@ pub enum Operation {
     RdmaWriteOnly = 0x0A,
     RdmaReadRequest = 0x0C,
     RdmaReadResponseFirst = 0x0D,
+    RdmaReadResponseMiddle = 0x0E,
     RdmaReadResponseLast = 0x0F,
     RdmaReadResponseOnly = 0x10,
     Acknowledge = 0x11,
@@ -71,6 +72,7 @@ impl Operation {
             0x0A => Operation::RdmaWriteOnly,
             0x0C => Operation::RdmaReadRequest,
             0x0D => Operation::RdmaReadResponseFirst,
+            0x0E => Operation::RdmaReadResponseMiddle,
             0x0F => Operation::RdmaReadResponseLast,
             0x10 => Operation::RdmaReadResponseOnly,
             0x11 => Operation::Acknowledge,
@@ -88,6 +90,8 @@ impl Operation {
     }
 
     /// Whether packets with this operation carry an AETH (ack syndrome).
+    /// Per spec table 35 a read-response *Middle* carries none — only the
+    /// First/Last/Only response packets acknowledge.
     pub fn has_aeth(self) -> bool {
         matches!(
             self,
@@ -201,6 +205,31 @@ mod tests {
     #[test]
     fn unknown_service_rejected() {
         assert_eq!(OpCode::from_byte(0b1110_0100), None);
+    }
+
+    #[test]
+    fn roundtrip_all_opcode_bytes() {
+        // Every byte either decodes to an opcode that re-encodes to the
+        // same byte, or is rejected — no aliasing, no lossy decode.
+        let mut decoded = 0;
+        for b in 0u8..=255 {
+            if let Some(op) = OpCode::from_byte(b) {
+                assert_eq!(op.to_byte(), b, "byte {b:#04x} must re-encode");
+                assert_eq!(OpCode::from_byte(op.to_byte()), Some(op));
+                decoded += 1;
+            }
+        }
+        // RC + UC + RD carry all 14 operations; UD only the 4 sends.
+        assert_eq!(decoded, 3 * 14 + 4);
+    }
+
+    #[test]
+    fn read_response_middle_header_flags() {
+        let op = Operation::RdmaReadResponseMiddle;
+        assert_eq!(op as u8, 0x0E);
+        assert!(op.has_payload(), "middle response carries data");
+        assert!(!op.has_aeth(), "only First/Last/Only responses carry AETH");
+        assert!(!op.has_reth());
     }
 
     #[test]

@@ -109,6 +109,7 @@ mod tests {
             trap: None,
             icrc: 0,
             corrupted: false,
+            wire: None,
         }
     }
 

@@ -228,6 +228,29 @@ pub struct Simulator {
     /// Events popped so far (the `sim_engine` bench's events/sec
     /// numerator).
     events_processed: u64,
+    /// Events popped past a [`run_hosts_until`](Self::run_hosts_until)
+    /// limit, stashed in scheduling order for later calls (the calendar
+    /// queue has no peek, so the limit check happens after the pop).
+    held: VecDeque<(SimTime, Event)>,
+    /// Host-injected packets that reached their destination HCA, awaiting
+    /// [`take_host_delivery`](Self::take_host_delivery).
+    host_inbox: VecDeque<HostDelivery>,
+}
+
+/// A host-injected packet delivered at its destination HCA: the wire
+/// image posted via [`Simulator::post_host`], after per-hop delays, VL
+/// arbitration, credit stalls and fault exposure. Corruption in transit
+/// flips a byte in `bytes` rather than dropping the packet — the host
+/// transport's own CRC/MAC verification is the judge, exactly as on a
+/// real fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostDelivery {
+    /// Fabric delivery time at the destination HCA.
+    pub at: SimTime,
+    /// Destination node index.
+    pub node: usize,
+    /// The (possibly fault-corrupted) wire image.
+    pub bytes: Vec<u8>,
 }
 
 /// Deterministic stand-in wire image for a [`SimPacket`]: the covered
@@ -402,6 +425,8 @@ impl Simulator {
             wire_scratch: Vec::new(),
             packets: PacketArena::new(),
             events_processed: 0,
+            held: VecDeque::new(),
+            host_inbox: VecDeque::new(),
         };
         sim.prime();
         sim
@@ -467,7 +492,7 @@ impl Simulator {
     /// Run to completion, also returning the number of events processed
     /// (the `sim_engine` bench divides by wall-clock for events/sec).
     pub fn run_counted(mut self) -> (SimReport, u64) {
-        while let Some((t, ev)) = self.queue.pop() {
+        while let Some((t, ev)) = self.pop_next() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.events_processed += 1;
@@ -483,6 +508,117 @@ impl Simulator {
             0.0
         };
         (self.stats, self.events_processed)
+    }
+
+    /// Next event in time order, merging the queue with the held buffer
+    /// (events popped past a previous `run_hosts_until` limit). At equal
+    /// times a held event wins over a freshly popped one: it left the
+    /// queue first, so it carries the earlier sequence number.
+    fn pop_next(&mut self) -> Option<(SimTime, Event)> {
+        let popped = self.queue.pop();
+        let held_first = match (self.held.front(), &popped) {
+            (Some((ht, _)), Some((pt, _))) => ht <= pt,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if !held_first {
+            return popped;
+        }
+        if let Some((pt, pev)) = popped {
+            // The fresh pop is newer than every held entry, so at equal
+            // times it files after them.
+            let pos = self
+                .held
+                .iter()
+                .position(|(ht, _)| *ht > pt)
+                .unwrap_or(self.held.len());
+            self.held.insert(pos, (pt, pev));
+        }
+        self.held.pop_front()
+    }
+
+    // ------------------------------------------------------------- host hook
+
+    /// Inject a real wire image at the HCA of `src`, addressed to `dst`'s
+    /// HCA on virtual lane `vl`. The packet competes with the simulator's
+    /// own traffic for the host link, credits and VL arbitration, crosses
+    /// the mesh hop by hop, and is exposed to the fault layer like any
+    /// other packet: a link drop counts in `link_drops` (and the
+    /// best-effort class drops), corruption flips a byte and the delivery
+    /// still happens — the host transport's CRC/MAC decides its fate.
+    /// No abstract-path ICRC is rendered and no receive-side P_Key check
+    /// runs; the bytes themselves carry those protections.
+    pub fn post_host(&mut self, src: usize, dst: usize, vl: u8, bytes: Vec<u8>) {
+        self.next_packet_id += 1;
+        self.stats.generated += 1;
+        let pkey = PKey(0x8000 | (self.node_partition[src] as u16 + 1));
+        let packet = SimPacket {
+            id: self.next_packet_id,
+            src,
+            dst,
+            class: TrafficClass::BestEffort,
+            pkey,
+            vl,
+            bytes: bytes.len(),
+            gen_time: self.now,
+            inject_time: 0,
+            trap: None,
+            icrc: 0,
+            corrupted: false,
+            wire: Some(bytes),
+        };
+        let qvl = vl as usize;
+        let pref = self.packets.insert(packet);
+        self.hcas[src].send_q[qvl].push_back((pref, self.now));
+        self.schedule_inject(src, self.now);
+    }
+
+    /// Advance the simulation until a host delivery is ready, the event
+    /// horizon `limit` is reached, or the queue drains — whichever comes
+    /// first. Returns the new simulation time, which never exceeds the
+    /// first pending delivery's time and never regresses. An event popped
+    /// past `limit` is held (the calendar queue has no peek) and re-merged
+    /// by [`pop_next`](Self::pop_next) on the next call.
+    pub fn run_hosts_until(&mut self, limit: SimTime) -> SimTime {
+        while self.host_inbox.is_empty() {
+            let Some((t, ev)) = self.pop_next() else {
+                self.now = self.now.max(limit);
+                break;
+            };
+            if t > limit {
+                // `(t, ev)` is the global minimum right now, so it
+                // precedes everything already held.
+                self.held.push_front((t, ev));
+                self.now = self.now.max(limit);
+                break;
+            }
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.events_processed += 1;
+            self.handle(ev);
+        }
+        self.now
+    }
+
+    /// Pop the oldest pending host delivery, if any.
+    pub fn take_host_delivery(&mut self) -> Option<HostDelivery> {
+        self.host_inbox.pop_front()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The report accumulated so far (final numbers come from
+    /// [`run`](Self::run); this view serves co-simulation drivers).
+    pub fn stats(&self) -> &SimReport {
+        &self.stats
+    }
+
+    /// The attacker node indices this seed selected.
+    pub fn attacker_nodes(&self) -> &[usize] {
+        &self.attackers
     }
 
     fn handle(&mut self, ev: Event) {
@@ -649,6 +785,7 @@ impl Simulator {
             trap: None,
             icrc: 0,
             corrupted: false,
+            wire: None,
         };
         // Emission-time ICRC — only consulted when the fault layer can
         // corrupt packets in transit, so fault-free runs skip it.
@@ -698,6 +835,7 @@ impl Simulator {
             trap,
             icrc: 0,
             corrupted: false,
+            wire: None,
         };
         if self.faults.is_some() {
             packet.icrc = wire_icrc(&mut self.wire_scratch, &packet);
@@ -1015,6 +1153,24 @@ impl Simulator {
     // ------------------------------------------------------------- receiving
 
     fn on_hca_receive(&mut self, node: usize, pref: PacketRef) {
+        // Host-injected packets skip the abstract receive path entirely:
+        // the wire image goes back to the host, with transit corruption
+        // applied as a byte flip (mirroring the point-to-point harness),
+        // for the host transport's own VCRC/MAC verification to judge.
+        if self.packets.get(pref).wire.is_some() {
+            let packet = self.packets.release(pref);
+            let mut bytes = packet.wire.unwrap();
+            if packet.corrupted && !bytes.is_empty() {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0xFF;
+            }
+            self.host_inbox.push_back(HostDelivery {
+                at: self.now,
+                node,
+                bytes,
+            });
+            return;
+        }
         // CRC check before anything else looks at the packet (VCRC/ICRC
         // precede all header processing). Untouched packets re-render
         // bit-identically by construction, so their cached emission-time
@@ -1215,6 +1371,51 @@ mod tests {
         assert_eq!(a.generated, b.generated);
         assert_eq!(a.realtime.delivered, b.realtime.delivered);
         assert!((a.legit_queuing_mean() - b.legit_queuing_mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_packets_cross_the_mesh_intact() {
+        // No background traffic: the host packet is the only load, so it
+        // must arrive exactly once, byte-identical, after a positive
+        // fabric delay.
+        let mut cfg = quick_cfg();
+        cfg.traffic.realtime_load = 0.0;
+        cfg.traffic.best_effort_load = 0.0;
+        let mut sim = Simulator::new(cfg);
+        let payload: Vec<u8> = (0..300u32).map(|i| (i * 7) as u8).collect();
+        let dst = sim.topo.num_switches() - 1;
+        sim.post_host(0, dst, 1, payload.clone());
+        let t = sim.run_hosts_until(SimTime::MAX);
+        let d = sim.take_host_delivery().expect("delivery");
+        assert_eq!(d.node, dst);
+        assert_eq!(d.bytes, payload);
+        assert_eq!(d.at, t);
+        assert!(t > 0, "fabric transit takes time");
+        assert!(sim.take_host_delivery().is_none());
+        // Nothing left: the horizon call parks time at the limit.
+        assert_eq!(sim.run_hosts_until(t + 1000), t + 1000);
+    }
+
+    #[test]
+    fn host_hook_interleaves_with_background_traffic() {
+        // With sources active, run_hosts_until must keep the background
+        // simulation bit-identical to an uninterrupted run of the same
+        // seed (the held-event slot preserves global event order).
+        let base = Simulator::new(quick_cfg()).run();
+        let mut sim = Simulator::new(quick_cfg());
+        let mut t = 0;
+        while t < 3 * MS {
+            t = sim.run_hosts_until(t + 100 * US);
+            while sim.take_host_delivery().is_some() {}
+            if sim.now() >= 3 * MS {
+                break;
+            }
+        }
+        let (report, _) = sim.run_counted();
+        assert_eq!(report.generated, base.generated);
+        assert_eq!(report.realtime.delivered, base.realtime.delivered);
+        assert_eq!(report.best_effort.delivered, base.best_effort.delivered);
+        assert!((report.legit_queuing_mean() - base.legit_queuing_mean()).abs() < 1e-12);
     }
 
     #[test]

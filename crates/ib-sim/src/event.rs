@@ -81,6 +81,12 @@ pub struct SimPacket {
     /// image at the destination carries the flip, so the CRC check above
     /// discards the packet on arrival.
     pub corrupted: bool,
+    /// Host-injected real wire image ([`crate::Simulator::post_host`]).
+    /// `None` for the simulator's own abstract traffic. When present, the
+    /// fabric carries the bytes opaquely — the destination HCA hands them
+    /// back to the host instead of running the abstract receive path, so
+    /// an external transport's own CRC/MAC machinery judges them.
+    pub wire: Option<Vec<u8>>,
 }
 
 /// Events the engine processes. Packet-carrying variants hold an arena

@@ -40,7 +40,7 @@ pub mod traffic;
 
 pub use arena::{PacketArena, PacketRef};
 pub use config::{ArbitrationPolicy, AttackKeys, AuthMode, SimConfig, TrafficConfig};
-pub use engine::{SimReport, Simulator};
+pub use engine::{HostDelivery, SimReport, Simulator};
 pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
 pub use metrics::{ClassStats, OnlineStats};
 pub use time::{SimTime, BYTE_TIME_PS, NS, PS, US};

@@ -5,6 +5,37 @@ use ib_runtime::{Json, ToJson};
 use ib_sim::time::{MS, US};
 use ib_sim::SimTime;
 
+/// Loss-recovery strategy ablation (the fig_rdma comparison axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetransmitMode {
+    /// IBA's native behavior: a NAK or timeout rewinds to the oldest
+    /// unacknowledged PSN and everything from there is resent.
+    GoBackN,
+    /// A NAK resends only the missing PSN; the receiver buffers
+    /// ahead-of-expected packets (admitting them through the replay
+    /// window out of order) and delivers once the gap heals.
+    SelectiveRepeat,
+}
+
+impl RetransmitMode {
+    /// Stable label for JSON / tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RetransmitMode::GoBackN => "gbn",
+            RetransmitMode::SelectiveRepeat => "sr",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(s: &str) -> Option<RetransmitMode> {
+        match s {
+            "gbn" => Some(RetransmitMode::GoBackN),
+            "sr" => Some(RetransmitMode::SelectiveRepeat),
+            _ => None,
+        }
+    }
+}
+
 /// Reliable-connection transport parameters.
 ///
 /// The one security-critical field is [`window`](RcConfig::window): it
@@ -33,6 +64,11 @@ pub struct RcConfig {
     /// Receive-side buffer budget (messages held undrained before the
     /// receiver answers RNR NAK).
     pub rx_capacity: usize,
+    /// Path MTU in bytes: messages longer than this are segmented into
+    /// First/Middle/Last packets sharing one MSN.
+    pub mtu: usize,
+    /// Loss-recovery strategy.
+    pub retransmit: RetransmitMode,
 }
 
 impl Default for RcConfig {
@@ -47,6 +83,8 @@ impl Default for RcConfig {
             rnr_timer: 50 * US,
             initial_psn: 0,
             rx_capacity: 1024,
+            mtu: 1024,
+            retransmit: RetransmitMode::GoBackN,
         }
     }
 }
@@ -64,6 +102,8 @@ impl RcConfig {
             ("rnr_timer_ps", self.rnr_timer.to_json()),
             ("initial_psn", self.initial_psn.to_json()),
             ("rx_capacity", (self.rx_capacity as u64).to_json()),
+            ("mtu", (self.mtu as u64).to_json()),
+            ("retransmit", self.retransmit.label().to_json()),
         ])
     }
 
@@ -79,6 +119,8 @@ impl RcConfig {
             rnr_timer: v.get("rnr_timer_ps")?.as_u64()?,
             initial_psn: v.get("initial_psn")?.as_u64()? as u32,
             rx_capacity: v.get("rx_capacity")?.as_u64()? as usize,
+            mtu: v.get("mtu")?.as_u64()? as usize,
+            retransmit: RetransmitMode::from_label(v.get("retransmit")?.as_str()?)?,
         })
     }
 }
@@ -101,6 +143,8 @@ mod tests {
             window: 16,
             rto: 7 * US,
             initial_psn: 0xFF_FFF0,
+            mtu: 512,
+            retransmit: RetransmitMode::SelectiveRepeat,
             ..RcConfig::default()
         };
         let text = cfg.to_json().to_string();

@@ -1,6 +1,29 @@
 //! [`SecureRcEndpoint`]: one side of a reliable connection, wiring the
 //! [`crate::qp::RcQp`] state machine to an [`ib_security::SecureChannel`].
 //!
+//! ## Verbs
+//!
+//! The endpoint speaks three verb families, all MTU-segmented by the QP
+//! ([`crate::qp`]) and reassembled here:
+//!
+//! * **SEND** — [`Self::post`]: delivered to the peer's receive queue
+//!   ([`Self::take_delivered`]), one receive-buffer slot per message.
+//! * **RDMA WRITE** — [`Self::post_write`]: lands directly in the peer's
+//!   registered memory region ([`Self::configure_memory`]) after an
+//!   R_Key + bounds check; completion surfaces via
+//!   [`Self::take_write_events`]. The RETH rides the First/Only segment
+//!   and — because the ICRC mask leaves extended transport headers
+//!   untouched — is covered by the MAC: a flipped address or R_Key fails
+//!   verification before any memory is touched.
+//! * **RDMA READ** — [`Self::post_read`]: the responder serves the
+//!   request from its memory region as segmented ReadResponse packets
+//!   (in this model: sent in the responder's own send PSN space and
+//!   acknowledged like data, a simplification of IBA's
+//!   responses-consume-request-PSNs rule); the requester matches
+//!   completed responses FIFO against its outstanding requests
+//!   ([`Self::take_read_completions`]) — sound because RC delivery is
+//!   in order.
+//!
 //! ## Ordering discipline (who judges what, and in what order)
 //!
 //! The replay window's bitmap must stay strictly in **delivery order** or
@@ -8,14 +31,18 @@
 //! therefore classifies every data packet against the transport's
 //! expected PSN *before* the channel sees it:
 //!
-//! * **Ahead** of expected → a gap; NAK and drop *without* touching the
-//!   replay window. If the window recorded the packet now, the in-order
-//!   retransmit that go-back-N is about to produce would read as a
-//!   duplicate and the message would never be delivered.
-//! * **In order** → check receive-buffer budget first (an RNR'd packet
-//!   must not be recorded either — it was not delivered), then
-//!   [`SecureChannel::admit`]: `Fresh` delivers, and only then does the
-//!   window remember the PSN.
+//! * **Ahead** of expected → a gap. Under go-back-N: NAK and drop
+//!   *without* touching the replay window. If the window recorded the
+//!   packet now, the in-order retransmit that go-back-N is about to
+//!   produce would read as a duplicate and the message would never be
+//!   delivered. Under selective repeat the sender will *not* resend
+//!   what the NAK did not name, so an in-window ahead packet is admitted
+//!   through the replay window immediately and buffered; when the gap
+//!   heals, buffered segments apply **without** a second admission.
+//! * **In order** → check receive-buffer budget first for SEND segments
+//!   (an RNR'd packet must not be recorded either — it was not
+//!   delivered), then [`SecureChannel::admit`]: `Fresh` applies the
+//!   segment, and only then does the window remember the PSN.
 //! * **Behind** expected → some already-received PSN. The transport
 //!   re-ACKs (cumulative ACKs are idempotent; a sender whose ACK was
 //!   lost needs this), but **delivery** is the channel's call. With the
@@ -38,29 +65,30 @@
 //! checked, replay window untouched. A replayed cumulative ACK is
 //! idempotent (it acknowledges a prefix the sender already advanced
 //! past), and ACK PSNs live in the *data* sequence space, so feeding
-//! them to the data window would poison it.
+//! them to the data window would poison it. Read *responses* carry an
+//! AETH too but are data: dispatch is by opcode, not header presence.
 //!
 //! ## Zero-allocation send path
 //!
 //! Data and ACK packets are not rebuilt per send. The endpoint keeps two
-//! sealed packet *templates* (`tx_pkt`, `ack_pkt`) whose header stacks
-//! never change for the life of the connection; each transmission only
-//! rewrites the PSN (and payload / AETH), re-runs [`Packet::seal_lengths`]
-//! and the channel seal, and serializes with [`Packet::write_into`] into
-//! a wire buffer drawn from a bounded recycle pool. Once the template
-//! payload capacity and the pool are warm, [`SecureRcEndpoint::poll_into`]
-//! performs no heap allocation.
+//! sealed packet *templates* (`tx_pkt`, `ack_pkt`); each transmission
+//! only rewrites the operation, PSN, optional RETH/AETH (all `Copy`) and
+//! payload, re-runs [`Packet::seal_lengths`] and the channel seal, and
+//! serializes with [`Packet::write_into`] into a wire buffer drawn from
+//! a bounded recycle pool. Once the template payload capacity and the
+//! pool are warm, [`SecureRcEndpoint::poll_into`] performs no heap
+//! allocation.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use ib_mgmt::keymgmt::SecretKey;
-use ib_packet::types::{Lid, PKey, Psn, Qpn};
-use ib_packet::{Aeth, AethKind, NakCode, OpCode, Packet, PacketBuilder};
+use ib_packet::types::{Lid, PKey, Psn, Qpn, RKey};
+use ib_packet::{Aeth, AethKind, NakCode, OpCode, Operation, Packet, PacketBuilder, Reth};
 use ib_security::{Admit, ChannelSecurity, SecureChannel};
 use ib_sim::SimTime;
 
-use crate::config::RcConfig;
-use crate::qp::{RcQp, RxClass, RxReply};
+use crate::config::{RcConfig, RetransmitMode};
+use crate::qp::{psn_sub, RcQp, RxClass, RxReply};
 
 /// RNR timer code placed in the AETH (the 5-bit IBA encoding is a table
 /// lookup; both ends of this connection share an [`RcConfig`], so the
@@ -74,7 +102,7 @@ const POOL_CAP: usize = 64;
 /// Per-endpoint transport/security counters (the fig_replay metrics).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EndpointStats {
-    /// Messages delivered to the application for the first time.
+    /// SEND messages delivered to the application for the first time.
     pub delivered: u64,
     /// Behind-expected packets the channel suppressed as duplicates
     /// (lost-ACK retransmits and attacker replays alike).
@@ -85,21 +113,45 @@ pub struct EndpointStats {
     pub dup_admitted_fresh: u64,
     /// Ahead-of-expected packets dropped (go-back-N gaps).
     pub gap_drops: u64,
+    /// Ahead-of-expected packets buffered out of order (selective repeat).
+    pub ooo_buffered: u64,
     /// Wire buffers that failed to parse (corruption caught by the VCRC).
     pub parse_drops: u64,
     /// ACK/NAK/RNR packets processed.
     pub acks_rx: u64,
     /// RNR NAKs sent because the receive buffer was full.
     pub rnr_sent: u64,
+    /// RDMA ops refused: R_Key mismatch, out-of-bounds address range, or
+    /// a Middle/Last segment with no open transaction.
+    pub rdma_faults: u64,
+    /// RDMA READ requests served from the memory region.
+    pub reads_served: u64,
+}
+
+/// An in-progress multi-segment RDMA WRITE on the responder side.
+#[derive(Debug, Clone, Copy)]
+struct WriteProgress {
+    addr: u64,
+    dma_len: u32,
+    written: usize,
+}
+
+/// A selective-repeat segment buffered ahead of the expected PSN. It was
+/// already admitted through the replay window when it arrived.
+#[derive(Debug)]
+struct StoredSeg {
+    op: Operation,
+    reth: Option<Reth>,
+    payload: Vec<u8>,
 }
 
 /// One side of a secure reliable connection: post messages, shuttle wire
-/// buffers, take delivered messages.
+/// buffers, take delivered messages / RDMA completions.
 pub struct SecureRcEndpoint {
     channel: SecureChannel,
     qp: RcQp,
-    /// Sealed data-packet template: headers fixed at construction, only
-    /// PSN / payload / seal change per send.
+    /// Sealed data-packet template: addressing fixed at construction;
+    /// operation / PSN / RETH / payload change per send.
     tx_pkt: Packet,
     /// Sealed ACK/NAK/RNR template: only PSN / AETH / seal change.
     ack_pkt: Packet,
@@ -107,6 +159,23 @@ pub struct SecureRcEndpoint {
     pool: Vec<Vec<u8>>,
     outbox: VecDeque<Vec<u8>>,
     delivered: VecDeque<Vec<u8>>,
+    /// SEND reassembly buffer (First/Middle accumulate here).
+    rx_msg: Vec<u8>,
+    /// Open multi-segment WRITE, if any.
+    rx_write: Option<WriteProgress>,
+    /// READ-response reassembly buffer.
+    rx_read_resp: Vec<u8>,
+    /// Completed READ payloads, FIFO-matched to outstanding requests.
+    completed_reads: VecDeque<Vec<u8>>,
+    /// Completed inbound WRITEs as (virt_addr, length) events.
+    write_events: VecDeque<(u64, u32)>,
+    /// Registered memory region RDMA ops target.
+    memory: Vec<u8>,
+    /// The R_Key that unlocks `memory`; `None` refuses all RDMA.
+    rkey: Option<RKey>,
+    /// Selective repeat: segments received ahead of the expected PSN,
+    /// keyed by PSN, already past the replay window.
+    ooo: HashMap<u32, StoredSeg>,
     /// Transport/security counters, readable at any time.
     pub stats: EndpointStats,
 }
@@ -119,7 +188,9 @@ impl SecureRcEndpoint {
     ///
     /// If the transport send window exceeds the replay window: a genuine
     /// retransmit could then age out of the window and be rejected as
-    /// stale, breaking reliable delivery.
+    /// stale, breaking reliable delivery. (The same bound makes
+    /// selective repeat's ahead-of-order admissions safe: an in-window
+    /// ahead PSN never pushes the missing PSN out of the replay window.)
     #[allow(clippy::too_many_arguments)] // a connection is genuinely this wide
     pub fn new(
         security: ChannelSecurity,
@@ -162,13 +233,52 @@ impl SecureRcEndpoint {
             pool: Vec::new(),
             outbox: VecDeque::new(),
             delivered: VecDeque::new(),
+            rx_msg: Vec::new(),
+            rx_write: None,
+            rx_read_resp: Vec::new(),
+            completed_reads: VecDeque::new(),
+            write_events: VecDeque::new(),
+            memory: Vec::new(),
+            rkey: None,
+            ooo: HashMap::new(),
             stats: EndpointStats::default(),
         }
     }
 
-    /// Queue a message for reliable, authenticated delivery to the peer.
+    /// Register `size` bytes of zeroed memory reachable by RDMA under
+    /// `rkey`. Until this is called every inbound RDMA op faults.
+    pub fn configure_memory(&mut self, size: usize, rkey: RKey) {
+        self.memory = vec![0; size];
+        self.rkey = Some(rkey);
+    }
+
+    /// The registered memory region (what RDMA WRITEs landed).
+    pub fn memory(&self) -> &[u8] {
+        &self.memory
+    }
+
+    /// Mutable view of the memory region (pre-filling READ sources).
+    pub fn memory_mut(&mut self) -> &mut [u8] {
+        &mut self.memory
+    }
+
+    /// Queue a SEND message for reliable, authenticated delivery to the
+    /// peer's receive queue.
     pub fn post(&mut self, payload: Vec<u8>) {
-        self.qp.post(payload);
+        self.qp.post_send(payload);
+    }
+
+    /// Queue an RDMA WRITE of `payload` into the peer's memory at
+    /// `virt_addr` under `rkey`.
+    pub fn post_write(&mut self, virt_addr: u64, rkey: RKey, payload: Vec<u8>) {
+        self.qp.post_write(virt_addr, rkey, payload);
+    }
+
+    /// Queue an RDMA READ of `len` bytes from the peer's memory at
+    /// `virt_addr` under `rkey`. The completed payload surfaces via
+    /// [`Self::take_read_completions`].
+    pub fn post_read(&mut self, virt_addr: u64, rkey: RKey, len: u32) {
+        self.qp.post_read(virt_addr, rkey, len);
     }
 
     /// True when every posted message has been sent and acknowledged.
@@ -191,19 +301,34 @@ impl SecureRcEndpoint {
         &self.channel
     }
 
+    /// Messages fully received in order (the receiver half's MSN).
+    pub fn rx_msn(&self) -> u32 {
+        self.qp.msn()
+    }
+
     /// Earliest instant this endpoint needs a timer wake-up.
     pub fn next_deadline(&self) -> Option<SimTime> {
         self.qp.next_deadline()
     }
 
-    /// Drain messages delivered since the last call, releasing their
-    /// receive-buffer slots.
+    /// Drain SEND messages delivered since the last call, releasing
+    /// their receive-buffer slots.
     pub fn take_delivered(&mut self) -> Vec<Vec<u8>> {
         let out: Vec<Vec<u8>> = self.delivered.drain(..).collect();
         for _ in &out {
             self.qp.rx_release();
         }
         out
+    }
+
+    /// Drain completed RDMA READ payloads, in request order.
+    pub fn take_read_completions(&mut self) -> Vec<Vec<u8>> {
+        self.completed_reads.drain(..).collect()
+    }
+
+    /// Drain completed inbound RDMA WRITEs as (virt_addr, len) events.
+    pub fn take_write_events(&mut self) -> Vec<(u64, u32)> {
+        self.write_events.drain(..).collect()
     }
 
     /// Run timers and collect every wire buffer this endpoint wants to
@@ -237,7 +362,19 @@ impl SecureRcEndpoint {
             ..
         } = self;
         while let Some(item) = qp.poll_tx(now) {
+            // Opcode + optional headers move in lockstep so serialization
+            // (Option-driven) matches what a parser (opcode-driven) will
+            // reconstruct. All header writes are `Copy` — no allocation.
+            tx_pkt.bth.opcode.operation = item.op;
             tx_pkt.bth.psn = Psn(item.psn);
+            tx_pkt.reth = item.reth;
+            // Read responses carry a structurally-required AETH; its
+            // syndrome is decorative here (dispatch is by opcode).
+            tx_pkt.aeth = if item.op.has_aeth() {
+                Some(Aeth::ack(0))
+            } else {
+                None
+            };
             tx_pkt.payload.clear();
             tx_pkt.payload.extend_from_slice(&item.payload);
             tx_pkt.seal_lengths();
@@ -269,7 +406,9 @@ impl SecureRcEndpoint {
             self.stats.parse_drops += 1;
             return;
         };
-        if packet.aeth.is_some() {
+        // Dispatch by opcode, not AETH presence: read responses carry an
+        // AETH yet their PSNs live in the peer's *data* sequence space.
+        if packet.bth.opcode.operation == Operation::Acknowledge {
             self.handle_ack(now, &packet);
         } else {
             self.handle_data(now, &packet);
@@ -301,18 +440,52 @@ impl SecureRcEndpoint {
 
     fn handle_data(&mut self, now: SimTime, packet: &Packet) {
         let psn = packet.bth.psn.0;
+        let op = packet.bth.opcode.operation;
         match self.qp.rx_classify(psn) {
             RxClass::Ahead => {
-                // Gap: never shown to the replay window (see module docs).
-                self.stats.gap_drops += 1;
+                let cfg = self.qp.config();
+                let in_window = psn_sub(psn, self.qp.expected_psn()) < cfg.window;
+                if cfg.retransmit == RetransmitMode::SelectiveRepeat && in_window {
+                    // The sender will NOT resend this PSN (the NAK names
+                    // only the missing one), so record it in the replay
+                    // window now and buffer the segment for the drain.
+                    match self.channel.admit(packet) {
+                        Ok(Admit::Fresh) => {
+                            self.stats.ooo_buffered += 1;
+                            self.ooo.insert(
+                                psn,
+                                StoredSeg {
+                                    op,
+                                    reth: packet.reth,
+                                    payload: packet.payload.clone(),
+                                },
+                            );
+                        }
+                        Ok(Admit::Duplicate) => self.stats.dup_suppressed += 1,
+                        Err(_) => {}
+                    }
+                } else {
+                    // Go-back-N gap: never shown to the replay window (see
+                    // module docs) — the in-order retransmit must stay
+                    // judgeable as Fresh.
+                    self.stats.gap_drops += 1;
+                }
                 if let Some(reply) = self.qp.rx_gap() {
                     self.queue_reply(reply);
                 }
             }
             RxClass::InOrder => {
-                if !self.qp.rx_has_budget() {
+                let is_send = matches!(
+                    op,
+                    Operation::SendFirst
+                        | Operation::SendMiddle
+                        | Operation::SendLast
+                        | Operation::SendOnly
+                );
+                if is_send && !self.qp.rx_has_budget() {
                     // Not deliverable, so not recorded: the retransmit
                     // after the RNR back-off must still verdict Fresh.
+                    // RDMA ops bypass receive buffers entirely.
                     self.stats.rnr_sent += 1;
                     let reply = self.qp.rx_not_ready();
                     self.queue_reply(reply);
@@ -320,18 +493,13 @@ impl SecureRcEndpoint {
                 }
                 match self.channel.admit(packet) {
                     Ok(Admit::Fresh) => {
-                        self.qp.rx_reserve();
-                        self.delivered.push_back(packet.payload.clone());
-                        self.stats.delivered += 1;
-                        if let Some(reply) = self.qp.rx_accept(now) {
-                            self.queue_reply(reply);
-                        }
+                        self.accept_and_drain(now, op, packet.reth, packet.payload.clone());
                     }
                     Ok(Admit::Duplicate) => {
                         // The window saw this PSN although the transport
-                        // did not: advance past it without re-delivering.
+                        // did not: advance past it without re-applying.
                         self.stats.dup_suppressed += 1;
-                        if let Some(reply) = self.qp.rx_accept(now) {
+                        if let Some(reply) = self.qp.rx_accept(now, msg_end_of(op)) {
                             self.queue_reply(reply);
                         }
                     }
@@ -342,11 +510,16 @@ impl SecureRcEndpoint {
                 match self.channel.admit(packet) {
                     Ok(Admit::Fresh) => {
                         // No replay window to remember the delivery: an
-                        // already-received packet is delivered AGAIN. This
+                        // already-received packet is accepted AGAIN. This
                         // is the replay attack succeeding.
                         self.stats.dup_admitted_fresh += 1;
-                        self.qp.rx_reserve();
-                        self.delivered.push_back(packet.payload.clone());
+                        if op == Operation::SendOnly {
+                            self.qp.rx_reserve();
+                            self.delivered.push_back(packet.payload.clone());
+                        }
+                        // Replayed segments of multi-packet messages and
+                        // RDMA ops are counted but not re-applied: the
+                        // admission itself is the measured failure.
                         let reply = self.qp.rx_duplicate();
                         self.queue_reply(reply);
                     }
@@ -361,6 +534,168 @@ impl SecureRcEndpoint {
                 }
             }
         }
+    }
+
+    /// Apply a freshly-admitted in-order segment, then drain any
+    /// selective-repeat buffered successors that are now in order (they
+    /// were admitted through the replay window when they arrived — no
+    /// second admission).
+    fn accept_and_drain(
+        &mut self,
+        now: SimTime,
+        op: Operation,
+        reth: Option<Reth>,
+        payload: Vec<u8>,
+    ) {
+        if let Some(reply) = self.apply_segment(now, op, reth, payload) {
+            self.queue_reply(reply);
+        }
+        while let Some(seg) = self.ooo.remove(&self.qp.expected_psn()) {
+            if let Some(reply) = self.apply_segment(now, seg.op, seg.reth, seg.payload) {
+                self.queue_reply(reply);
+            }
+        }
+        // Segments still buffered beyond a second loss: ask for the new
+        // expected PSN right away instead of waiting for the sender's RTO
+        // (rx_accept cleared the per-gap NAK latch).
+        if !self.ooo.is_empty() {
+            if let Some(reply) = self.qp.rx_gap() {
+                self.queue_reply(reply);
+            }
+        }
+    }
+
+    /// Verb-specific effect of one in-order segment, then the transport
+    /// accept (PSN advance, MSN on message end, ACK coalescing).
+    fn apply_segment(
+        &mut self,
+        now: SimTime,
+        op: Operation,
+        reth: Option<Reth>,
+        payload: Vec<u8>,
+    ) -> Option<RxReply> {
+        match op {
+            Operation::SendOnly => {
+                self.qp.rx_reserve();
+                self.delivered.push_back(payload);
+                self.stats.delivered += 1;
+            }
+            Operation::SendFirst => {
+                self.rx_msg.clear();
+                self.rx_msg.extend_from_slice(&payload);
+            }
+            Operation::SendMiddle => {
+                self.rx_msg.extend_from_slice(&payload);
+            }
+            Operation::SendLast => {
+                self.rx_msg.extend_from_slice(&payload);
+                self.qp.rx_reserve();
+                self.delivered.push_back(std::mem::take(&mut self.rx_msg));
+                self.stats.delivered += 1;
+            }
+            Operation::RdmaWriteOnly => {
+                if let Some(reth) = reth {
+                    self.write_start(reth, &payload, true);
+                }
+            }
+            Operation::RdmaWriteFirst => {
+                if let Some(reth) = reth {
+                    self.write_start(reth, &payload, false);
+                }
+            }
+            Operation::RdmaWriteMiddle => self.write_continue(&payload, false),
+            Operation::RdmaWriteLast => self.write_continue(&payload, true),
+            Operation::RdmaReadRequest => {
+                if let Some(reth) = reth {
+                    self.serve_read(reth);
+                }
+            }
+            Operation::RdmaReadResponseOnly => {
+                self.completed_reads.push_back(payload);
+            }
+            Operation::RdmaReadResponseFirst => {
+                self.rx_read_resp.clear();
+                self.rx_read_resp.extend_from_slice(&payload);
+            }
+            Operation::RdmaReadResponseMiddle => {
+                self.rx_read_resp.extend_from_slice(&payload);
+            }
+            Operation::RdmaReadResponseLast => {
+                self.rx_read_resp.extend_from_slice(&payload);
+                self.completed_reads
+                    .push_back(std::mem::take(&mut self.rx_read_resp));
+            }
+            Operation::Acknowledge => unreachable!("dispatched to handle_ack"),
+        }
+        self.qp.rx_accept(now, msg_end_of(op))
+    }
+
+    /// Validate and begin (or complete, for Only) an inbound RDMA WRITE.
+    /// The R_Key and bounds are checked against the registered region;
+    /// a refused op still advances the PSN — IBA would move the QP to an
+    /// error state, here we count the fault and keep the flow alive.
+    fn write_start(&mut self, reth: Reth, payload: &[u8], only: bool) {
+        let addr = reth.virt_addr as usize;
+        let valid = self.rkey == Some(reth.rkey)
+            && addr
+                .checked_add(reth.dma_len as usize)
+                .is_some_and(|end| end <= self.memory.len())
+            && payload.len() <= reth.dma_len as usize;
+        if !valid {
+            self.stats.rdma_faults += 1;
+            self.rx_write = None;
+            return;
+        }
+        self.memory[addr..addr + payload.len()].copy_from_slice(payload);
+        if only {
+            self.write_events.push_back((reth.virt_addr, reth.dma_len));
+        } else {
+            self.rx_write = Some(WriteProgress {
+                addr: reth.virt_addr,
+                dma_len: reth.dma_len,
+                written: payload.len(),
+            });
+        }
+    }
+
+    /// Continue (Middle) or finish (Last) the open multi-segment WRITE.
+    fn write_continue(&mut self, payload: &[u8], last: bool) {
+        let Some(w) = self.rx_write else {
+            self.stats.rdma_faults += 1; // no transaction open
+            return;
+        };
+        let off = w.addr as usize + w.written;
+        if w.written + payload.len() > w.dma_len as usize || off + payload.len() > self.memory.len()
+        {
+            self.stats.rdma_faults += 1;
+            self.rx_write = None;
+            return;
+        }
+        self.memory[off..off + payload.len()].copy_from_slice(payload);
+        let written = w.written + payload.len();
+        if last {
+            self.rx_write = None;
+            self.write_events.push_back((w.addr, written as u32));
+        } else {
+            self.rx_write = Some(WriteProgress { written, ..w });
+        }
+    }
+
+    /// Serve an RDMA READ request from the memory region: the response
+    /// data is posted on our send side as segmented ReadResponse packets.
+    fn serve_read(&mut self, reth: Reth) {
+        let addr = reth.virt_addr as usize;
+        let valid = self.rkey == Some(reth.rkey)
+            && addr
+                .checked_add(reth.dma_len as usize)
+                .is_some_and(|end| end <= self.memory.len());
+        if !valid {
+            self.stats.rdma_faults += 1;
+            return;
+        }
+        self.stats.reads_served += 1;
+        let data = self.memory[addr..addr + reth.dma_len as usize].to_vec();
+        self.qp.post_read_response(data);
     }
 
     fn queue_reply(&mut self, reply: RxReply) {
@@ -382,6 +717,20 @@ impl SecureRcEndpoint {
         self.ack_pkt.write_into(&mut buf);
         self.outbox.push_back(buf);
     }
+}
+
+/// True when `op` completes a message — the segments that advance MSN.
+fn msg_end_of(op: Operation) -> bool {
+    matches!(
+        op,
+        Operation::SendOnly
+            | Operation::SendLast
+            | Operation::RdmaWriteOnly
+            | Operation::RdmaWriteLast
+            | Operation::RdmaReadRequest
+            | Operation::RdmaReadResponseOnly
+            | Operation::RdmaReadResponseLast
+    )
 }
 
 #[cfg(test)]
@@ -448,6 +797,104 @@ mod tests {
             assert!(a.tx_idle());
             assert_eq!(b.stats.dup_admitted_fresh, 0);
         }
+    }
+
+    #[test]
+    fn multi_segment_send_reassembles() {
+        let (mut a, mut b) = pair(ChannelSecurity::AuthReplay, RcConfig::default());
+        let mtu = RcConfig::default().mtu;
+        let msg: Vec<u8> = (0..mtu * 3 + 17).map(|i| (i * 7) as u8).collect();
+        a.post(msg.clone());
+        pump(&mut a, &mut b, 0);
+        assert_eq!(b.take_delivered(), vec![msg]);
+        assert_eq!(b.stats.delivered, 1);
+        assert_eq!(b.rx_msn(), 1, "four segments, one MSN");
+    }
+
+    #[test]
+    fn rdma_write_lands_in_peer_memory() {
+        let (mut a, mut b) = pair(ChannelSecurity::AuthReplay, RcConfig::default());
+        let rkey = RKey(0x5EC0_0001);
+        let mtu = RcConfig::default().mtu;
+        b.configure_memory(8 * mtu, rkey);
+        // Multi-segment write at an offset, then a short Only write.
+        let big: Vec<u8> = (0..2 * mtu + 9).map(|i| (i % 251) as u8).collect();
+        a.post_write(64, rkey, big.clone());
+        a.post_write(0, rkey, vec![0xAB; 8]);
+        pump(&mut a, &mut b, 0);
+        assert_eq!(&b.memory()[64..64 + big.len()], &big[..]);
+        assert_eq!(&b.memory()[..8], &[0xAB; 8]);
+        assert_eq!(
+            b.take_write_events(),
+            vec![(64, big.len() as u32), (0, 8)],
+            "completion events in order"
+        );
+        assert_eq!(b.stats.rdma_faults, 0);
+        assert!(
+            b.take_delivered().is_empty(),
+            "writes bypass the recv queue"
+        );
+    }
+
+    #[test]
+    fn rdma_write_wrong_rkey_faults_without_touching_memory() {
+        let (mut a, mut b) = pair(ChannelSecurity::AuthReplay, RcConfig::default());
+        b.configure_memory(1024, RKey(1));
+        a.post_write(0, RKey(2), vec![0xFF; 100]);
+        pump(&mut a, &mut b, 0);
+        assert_eq!(b.stats.rdma_faults, 1);
+        assert!(b.memory().iter().all(|&x| x == 0), "memory untouched");
+        assert!(a.tx_idle(), "flow continues past the refused op");
+    }
+
+    #[test]
+    fn rdma_read_round_trip() {
+        let (mut a, mut b) = pair(ChannelSecurity::AuthReplay, RcConfig::default());
+        let rkey = RKey(7);
+        let mtu = RcConfig::default().mtu;
+        b.configure_memory(4 * mtu, rkey);
+        let src: Vec<u8> = (0..3 * mtu).map(|i| (i * 13) as u8).collect();
+        b.memory_mut()[..src.len()].copy_from_slice(&src);
+        // A segmented read (3 MTUs: First/Middle/Last responses) and a
+        // short one (Only).
+        a.post_read(0, rkey, src.len() as u32);
+        a.post_read(mtu as u64, rkey, 32);
+        pump(&mut a, &mut b, 0);
+        let got = a.take_read_completions();
+        assert_eq!(got.len(), 2, "completions FIFO-match requests");
+        assert_eq!(got[0], src);
+        assert_eq!(got[1], src[mtu..mtu + 32]);
+        assert_eq!(b.stats.reads_served, 2);
+        assert_eq!(a.stats.dup_admitted_fresh, 0);
+    }
+
+    #[test]
+    fn selective_repeat_nak_path_buffers_ahead() {
+        let cfg = RcConfig {
+            retransmit: RetransmitMode::SelectiveRepeat,
+            ack_coalesce: 1,
+            ..RcConfig::default()
+        };
+        let (mut a, mut b) = pair(ChannelSecurity::AuthReplay, cfg);
+        for i in 0..4u8 {
+            a.post(vec![i]);
+        }
+        let wire = a.poll(0);
+        assert_eq!(wire.len(), 4);
+        // Lose PSN 1 on the wire; 0, 2, 3 arrive: 2 and 3 are buffered.
+        for (i, bytes) in wire.iter().enumerate() {
+            if i != 1 {
+                b.handle_wire(0, bytes);
+            }
+        }
+        assert_eq!(b.stats.ooo_buffered, 2);
+        assert_eq!(b.stats.gap_drops, 0, "SR buffers instead of dropping");
+        pump(&mut a, &mut b, US);
+        let got = b.take_delivered();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[1], vec![1u8]);
+        assert_eq!(a.retransmits(), 1, "only the missing PSN was resent");
+        assert_eq!(b.stats.dup_admitted_fresh, 0);
     }
 
     #[test]

@@ -21,7 +21,13 @@
 //! * [`sim`] — a two-endpoint discrete-event harness over lossy links
 //!   ([`ib_sim::FaultConfig`]) with an on-path attacker replaying
 //!   captured data packets; produces the fig_replay metrics (goodput,
-//!   delivery latency, retransmits, replays admitted).
+//!   delivery latency, retransmits, replays admitted). Kept as the
+//!   point-to-point determinism oracle.
+//! * [`fabric`] — the same endpoints attached to HCAs of a full
+//!   [`ib_sim::Simulator`] mesh: wire buffers ride real VL arbitration,
+//!   credits, per-link faults and Figure-5 attack traffic, so the
+//!   retransmission and replay machinery is measured under congestion
+//!   (the fig_rdma experiment: SEND / RDMA WRITE / RDMA READ).
 //! * [`config`] — [`config::RcConfig`] knobs with JSON round-tripping.
 //!
 //! The invariant that keeps retransmission and replay defense compatible:
@@ -31,10 +37,12 @@
 
 pub mod config;
 pub mod endpoint;
+pub mod fabric;
 pub mod qp;
 pub mod sim;
 
-pub use config::RcConfig;
+pub use config::{RcConfig, RetransmitMode};
 pub use endpoint::{EndpointStats, SecureRcEndpoint};
+pub use fabric::{run_fabric_sim, FabricReport, FabricSimConfig, RdmaOp};
 pub use qp::{RcQp, RxClass, RxReply, TxItem};
 pub use sim::{run_replay_sim, ReplayReport, ReplaySimConfig};

@@ -355,7 +355,7 @@ impl Sim<'_> {
 
 /// Deterministic payload for message `i`: 8-byte index then a repeating
 /// pattern derived from it.
-fn payload_for(i: usize, len: usize) -> Vec<u8> {
+pub(crate) fn payload_for(i: usize, len: usize) -> Vec<u8> {
     let mut p = vec![0u8; len.max(8)];
     p[..8].copy_from_slice(&(i as u64).to_le_bytes());
     for (k, b) in p.iter_mut().enumerate().skip(8) {
