@@ -57,6 +57,18 @@ cargo run -q --release --offline -p bench --bin fig_rdma -- --smoke
 diff BENCH_fig_rdma.first.json BENCH_fig_rdma.json
 rm BENCH_fig_rdma.first.json
 
+echo "== fig_rekey smoke (twice: results must be byte-identical) =="
+# The key-plane gate: RC fleets under epoch rotation and leader failover.
+# The binary's own asserts require 100% eventual delivery in every arm,
+# zero stale-epoch admissions, epoch-layer rejections on rotating arms,
+# and a successor that re-keys after the leader kill; the byte-diff pins
+# the replica election and MAD exchange to the seed.
+cargo run -q --release --offline -p bench --bin fig_rekey -- --smoke
+mv BENCH_fig_rekey.json BENCH_fig_rekey.first.json
+cargo run -q --release --offline -p bench --bin fig_rekey -- --smoke
+diff BENCH_fig_rekey.first.json BENCH_fig_rekey.json
+rm BENCH_fig_rekey.first.json
+
 echo "== sim_engine smoke (scheduler equivalence + calendar-vs-heap gate) =="
 # The binary's own asserts gate (a) all three scheduler arms popping the
 # identical event stream and (b) the calendar queue keeping pace with the

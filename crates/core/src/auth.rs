@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use std::fmt;
 
 use ib_crypto::mac::{AnyMac, AuthAlgorithm};
-use ib_mgmt::keymgmt::{NodeKeyTable, SecretKey};
+use ib_mgmt::keymgmt::{KeyEpoch, NodeKeyTable, SecretKey};
 use ib_packet::Packet;
 
 /// Which key-management granularity an [`Authenticator`] uses to find the
@@ -49,6 +49,13 @@ pub enum AuthError {
     /// QP-level scope needs a DETH (datagram) or a connection entry and
     /// the packet offers neither.
     NoScopeIndex,
+    /// The packet's BTH key-epoch id names a key version older than every
+    /// live one — the rotation grace window has expired for it.
+    StaleEpoch(u8),
+    /// The packet's BTH key-epoch id names a key version newer than any
+    /// installed — the receiver's key-update MAD is still in flight
+    /// (recovered by retransmission once it lands).
+    FutureEpoch(u8),
 }
 
 impl fmt::Display for AuthError {
@@ -60,6 +67,8 @@ impl fmt::Display for AuthError {
             AuthError::BadIcrc => write!(f, "ICRC check failed"),
             AuthError::AuthRequired => write!(f, "policy requires an authenticated packet"),
             AuthError::NoScopeIndex => write!(f, "packet carries no usable key index"),
+            AuthError::StaleEpoch(e) => write!(f, "key epoch {e} is past its grace window"),
+            AuthError::FutureEpoch(e) => write!(f, "key epoch {e} is not yet installed"),
         }
     }
 }
@@ -113,8 +122,9 @@ impl Authenticator {
         ((packet.lrh.slid.0 as u64) << 24) | packet.bth.psn.0 as u64
     }
 
-    /// Find the secret this packet authenticates under. The index is
-    /// derived purely from packet fields, so sender and receiver agree.
+    /// Find the *current-epoch* secret this packet authenticates under —
+    /// the send-side lookup. The index is derived purely from packet
+    /// fields, so sender and receiver agree.
     pub fn secret_for(&self, packet: &Packet) -> Result<SecretKey, AuthError> {
         match self.scope {
             KeyScope::Partition => self
@@ -130,6 +140,63 @@ impl Authenticator {
                     self.keys
                         .connection_secret(packet.bth.dest_qp)
                         .ok_or(AuthError::NoKey)
+                } else {
+                    Err(AuthError::NoScopeIndex)
+                }
+            }
+        }
+    }
+
+    /// The current key epoch for this packet's scope index — what the
+    /// send side stamps into BTH `Resv7b`. Datagram secrets are minted
+    /// fresh per Q_Key request, so they stay at epoch 0.
+    pub fn send_epoch_for(&self, packet: &Packet) -> KeyEpoch {
+        match self.scope {
+            KeyScope::Partition => self.keys.partition_epoch(packet.bth.pkey),
+            KeyScope::QpLevel if packet.deth.is_none() => {
+                self.keys.connection_epoch(packet.bth.dest_qp)
+            }
+            KeyScope::QpLevel => None,
+        }
+        .unwrap_or(KeyEpoch::ZERO)
+    }
+
+    /// Classify a wire epoch id that matched no live key version.
+    fn epoch_miss(wire: u8, current: KeyEpoch) -> AuthError {
+        match KeyEpoch::resolve_wire(wire, current) {
+            Some(e) if e > current => AuthError::FutureEpoch(wire),
+            _ => AuthError::StaleEpoch(wire),
+        }
+    }
+
+    /// Receive-side lookup: resolve the packet's BTH key-epoch id against
+    /// the live key versions for its scope index. Misses split into
+    /// [`AuthError::StaleEpoch`] (version graced out — reject for good)
+    /// and [`AuthError::FutureEpoch`] (version not yet installed —
+    /// recoverable once the key-update MAD lands).
+    fn verify_secret_for(&self, packet: &Packet) -> Result<SecretKey, AuthError> {
+        let wire = packet.bth.key_epoch;
+        match self.scope {
+            KeyScope::Partition => {
+                let pkey = packet.bth.pkey;
+                if let Some((_, s)) = self.keys.partition_secret_by_wire(pkey, wire) {
+                    return Ok(s);
+                }
+                let current = self.keys.partition_epoch(pkey).ok_or(AuthError::NoKey)?;
+                Err(Self::epoch_miss(wire, current))
+            }
+            KeyScope::QpLevel => {
+                if let Some(deth) = &packet.deth {
+                    self.keys
+                        .datagram_secret(deth.qkey, deth.src_qp)
+                        .ok_or(AuthError::NoKey)
+                } else if packet.bth.opcode.service.is_connected() {
+                    let qp = packet.bth.dest_qp;
+                    if let Some((_, s)) = self.keys.connection_secret_by_wire(qp, wire) {
+                        return Ok(s);
+                    }
+                    let current = self.keys.connection_epoch(qp).ok_or(AuthError::NoKey)?;
+                    Err(Self::epoch_miss(wire, current))
                 } else {
                     Err(AuthError::NoScopeIndex)
                 }
@@ -171,10 +238,13 @@ impl Authenticator {
         Ok(self.with_mac(self.algorithm, secret, |mac| Self::stream_tag(mac, packet)))
     }
 
-    /// Tag a packet in place: selector into BTH `Resv8a`, MAC into the
-    /// ICRC field, VCRC refreshed. The packet must be sealed first (the
-    /// builder does this).
+    /// Tag a packet in place: current key epoch into BTH `Resv7b` (under
+    /// MAC coverage), selector into BTH `Resv8a`, MAC into the ICRC field,
+    /// VCRC refreshed. The packet must be sealed first (the builder does
+    /// this). A retransmit after a rotation re-runs this and goes out
+    /// under the *new* epoch's key — the lazy re-keying recovery path.
     pub fn tag_packet(&self, packet: &mut Packet) -> Result<(), AuthError> {
+        packet.bth.key_epoch = self.send_epoch_for(packet).wire_id();
         let tag = self.compute_tag(packet)?;
         packet.set_auth_tag(self.algorithm.selector(), tag);
         Ok(())
@@ -196,7 +266,7 @@ impl Authenticator {
                 Err(AuthError::BadIcrc)
             };
         }
-        let secret = self.secret_for(packet)?;
+        let secret = self.verify_secret_for(packet)?;
         let tag = self.with_mac(algorithm, secret, |mac| Self::stream_tag(mac, packet));
         // XOR-compare, like `Mac::verify`, to keep timing tag-independent.
         if (tag ^ packet.icrc) == 0 {
@@ -396,5 +466,106 @@ mod tests {
     #[should_panic(expected = "absence of authentication")]
     fn icrc_is_not_an_authenticator() {
         let _ = Authenticator::new(AuthAlgorithm::Icrc, KeyScope::Partition);
+    }
+
+    #[test]
+    fn epoch_lifecycle_future_grace_stale() {
+        use ib_mgmt::keymgmt::KeyEpoch;
+        let (old_sender, mut receiver, pkey, _) = partition_pair();
+        let (mut new_sender, _, _, _) = partition_pair();
+
+        // A packet tagged under epoch 0 before the rotation.
+        let mut old_pkt = ud_packet(pkey, QKey(7), Qpn(3), 10, b"epoch 0 traffic");
+        old_sender.tag_packet(&mut old_pkt).unwrap();
+        assert_eq!(old_pkt.bth.key_epoch, 0);
+
+        // Rotation: the sender learns epoch 1 first (lazy re-keying order
+        // is per-CA) and stamps it immediately.
+        let s1 = SecretKey::from_seed(4242);
+        new_sender
+            .keys
+            .install_partition_epoch(pkey, KeyEpoch(1), s1);
+        let mut new_pkt = ud_packet(pkey, QKey(7), Qpn(3), 11, b"epoch 1 traffic");
+        new_sender.tag_packet(&mut new_pkt).unwrap();
+        assert_eq!(new_pkt.bth.key_epoch, 1, "send side switches immediately");
+
+        // Receiver hasn't installed epoch 1 yet: a *recoverable* miss.
+        assert_eq!(
+            receiver.verify_packet(&new_pkt),
+            Err(AuthError::FutureEpoch(1))
+        );
+
+        // Key-update MAD lands: both epochs verify during the grace window.
+        receiver.keys.install_partition_epoch(pkey, KeyEpoch(1), s1);
+        receiver.verify_packet(&new_pkt).unwrap();
+        receiver.verify_packet(&old_pkt).unwrap();
+
+        // Grace expires: the old version is retired and its traffic is
+        // rejected for good — the zero-stale-admissions property.
+        receiver.keys.retire_partition_below(pkey, KeyEpoch(1));
+        assert_eq!(
+            receiver.verify_packet(&old_pkt),
+            Err(AuthError::StaleEpoch(0))
+        );
+        receiver.verify_packet(&new_pkt).unwrap();
+    }
+
+    #[test]
+    fn epoch_id_is_authenticated() {
+        use ib_mgmt::keymgmt::KeyEpoch;
+        let (mut sender, mut receiver, pkey, _) = partition_pair();
+        let s1 = SecretKey::from_seed(777);
+        sender.keys.install_partition_epoch(pkey, KeyEpoch(1), s1);
+        receiver.keys.install_partition_epoch(pkey, KeyEpoch(1), s1);
+        let mut pkt = ud_packet(pkey, QKey(7), Qpn(3), 3, b"swap my epoch");
+        sender.tag_packet(&mut pkt).unwrap();
+        // In-flight epoch downgrade: both versions are live at the
+        // receiver, so the lookup succeeds — but the MAC covered the
+        // original epoch id, so verification still fails.
+        pkt.bth.key_epoch = 0;
+        pkt.vcrc = pkt.compute_vcrc();
+        assert_eq!(receiver.verify_packet(&pkt), Err(AuthError::BadTag));
+    }
+
+    #[test]
+    fn connection_scope_epochs_rotate_too() {
+        use ib_mgmt::keymgmt::KeyEpoch;
+        let s0 = SecretKey::from_seed(8);
+        let s1 = SecretKey::from_seed(9);
+        let mut sender = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::QpLevel);
+        let mut receiver = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::QpLevel);
+        sender.keys.install_connection_secret(Qpn(9), s0);
+        receiver.keys.install_connection_secret(Qpn(9), s0);
+        sender
+            .keys
+            .install_connection_epoch(Qpn(9), KeyEpoch(1), s1);
+        let mut pkt = PacketBuilder::new(OpCode::RC_SEND_ONLY)
+            .slid(Lid(1))
+            .dlid(Lid(2))
+            .pkey(PKey(0x8001))
+            .dest_qp(Qpn(9))
+            .psn(Psn(33))
+            .payload(b"connected rotation".to_vec())
+            .build();
+        sender.tag_packet(&mut pkt).unwrap();
+        assert_eq!(pkt.bth.key_epoch, 1);
+        assert_eq!(receiver.verify_packet(&pkt), Err(AuthError::FutureEpoch(1)));
+        receiver
+            .keys
+            .install_connection_epoch(Qpn(9), KeyEpoch(1), s1);
+        receiver.verify_packet(&pkt).unwrap();
+        receiver.keys.retire_connection_below(Qpn(9), KeyEpoch(1));
+        let mut old = PacketBuilder::new(OpCode::RC_SEND_ONLY)
+            .slid(Lid(1))
+            .dlid(Lid(2))
+            .pkey(PKey(0x8001))
+            .dest_qp(Qpn(9))
+            .psn(Psn(34))
+            .payload(b"stale".to_vec())
+            .build();
+        let mut old_sender = Authenticator::new(AuthAlgorithm::Umac32, KeyScope::QpLevel);
+        old_sender.keys.install_connection_secret(Qpn(9), s0);
+        old_sender.tag_packet(&mut old).unwrap();
+        assert_eq!(receiver.verify_packet(&old), Err(AuthError::StaleEpoch(0)));
     }
 }

@@ -27,7 +27,7 @@
 use std::fmt;
 
 use ib_crypto::mac::AuthAlgorithm;
-use ib_mgmt::keymgmt::SecretKey;
+use ib_mgmt::keymgmt::{KeyEpoch, SecretKey};
 use ib_packet::types::PKey;
 use ib_packet::Packet;
 
@@ -121,6 +121,12 @@ pub struct ChannelStats {
     pub rejected_auth: u64,
     /// Packets older than the replay window.
     pub rejected_stale: u64,
+    /// Packets tagged under a key epoch whose grace window has expired —
+    /// the key-rotation analogue of `rejected_stale`.
+    pub rejected_stale_epoch: u64,
+    /// Packets tagged under a key epoch not yet installed here (the
+    /// key-update MAD is still in flight; retransmission recovers these).
+    pub rejected_future_epoch: u64,
 }
 
 /// One receive direction's security state: optional authenticator,
@@ -129,6 +135,14 @@ pub struct SecureChannel {
     security: ChannelSecurity,
     auth: Option<Authenticator>,
     window: Option<ReplayWindow>,
+    /// The partition this channel authenticates under (its epoch ring's
+    /// scope index).
+    pkey: PKey,
+    /// How long a superseded key epoch keeps verifying after the next one
+    /// is installed, in the caller's clock units. 0 = hard cutover.
+    epoch_grace: u64,
+    /// Scheduled retirements: at `.0`, drop every version below `.1`.
+    pending_retire: Vec<(u64, KeyEpoch)>,
     /// Admission counters, readable at any time.
     pub stats: ChannelStats,
 }
@@ -154,6 +168,9 @@ impl SecureChannel {
             security,
             auth,
             window,
+            pkey,
+            epoch_grace: 0,
+            pending_retire: Vec::new(),
             stats: ChannelStats::default(),
         }
     }
@@ -161,6 +178,59 @@ impl SecureChannel {
     /// The configured security arm.
     pub fn security(&self) -> ChannelSecurity {
         self.security
+    }
+
+    /// Configure the rotation grace window: after a newer epoch is
+    /// installed, superseded versions keep verifying for this long (in
+    /// whatever clock units the caller feeds [`Self::install_epoch`] and
+    /// [`Self::advance_time`]). The default, 0, is a hard cutover.
+    pub fn set_epoch_grace(&mut self, grace: u64) {
+        self.epoch_grace = grace;
+    }
+
+    /// The epoch the send side currently seals under.
+    pub fn send_epoch(&self) -> KeyEpoch {
+        self.auth
+            .as_ref()
+            .and_then(|a| a.keys.partition_epoch(self.pkey))
+            .unwrap_or(KeyEpoch::ZERO)
+    }
+
+    /// Install a key version learned from a key-update MAD. The send side
+    /// switches to the newest epoch immediately (the next [`Self::seal`]
+    /// stamps it); every older version is scheduled to retire once the
+    /// grace window elapses from `now`. No-op under
+    /// [`ChannelSecurity::NoAuth`].
+    pub fn install_epoch(&mut self, now: u64, epoch: KeyEpoch, secret: SecretKey) {
+        let Some(auth) = &mut self.auth else { return };
+        let newer = auth
+            .keys
+            .partition_epoch(self.pkey)
+            .is_none_or(|cur| epoch > cur);
+        auth.keys.install_partition_epoch(self.pkey, epoch, secret);
+        if newer {
+            self.pending_retire
+                .push((now.saturating_add(self.epoch_grace), epoch));
+        }
+    }
+
+    /// Retire key versions whose grace window has expired by `now`.
+    /// Endpoints call this from their time-advancing entry points; after
+    /// it runs, traffic under a retired epoch is rejected as
+    /// [`AuthError::StaleEpoch`].
+    pub fn advance_time(&mut self, now: u64) {
+        if self.pending_retire.is_empty() {
+            return;
+        }
+        let Some(auth) = &mut self.auth else { return };
+        self.pending_retire.retain(|&(at, below)| {
+            if at <= now {
+                auth.keys.retire_partition_below(self.pkey, below);
+                false
+            } else {
+                true
+            }
+        });
     }
 
     /// Replay-window depth, if one is active. A transport stacked on this
@@ -200,7 +270,11 @@ impl SecureChannel {
         match &self.auth {
             Some(auth) => {
                 if let Err(e) = auth.verify_packet(packet) {
-                    self.stats.rejected_auth += 1;
+                    match e {
+                        AuthError::StaleEpoch(_) => self.stats.rejected_stale_epoch += 1,
+                        AuthError::FutureEpoch(_) => self.stats.rejected_future_epoch += 1,
+                        _ => self.stats.rejected_auth += 1,
+                    }
                     return Err(ChannelError::Auth(e));
                 }
             }
@@ -399,6 +473,85 @@ mod tests {
         // PSN 0 is now 100 behind: unjudgeable.
         assert_eq!(rx.admit(&build(0)), Err(ChannelError::StalePsn));
         assert_eq!(rx.stats.rejected_stale, 1);
+    }
+
+    /// The lazy re-keying lifecycle at channel level: send side switches
+    /// on install, old epoch verifies through the grace window, then is
+    /// rejected — counted separately from forgeries.
+    #[test]
+    fn epoch_rotation_grace_window_lifecycle() {
+        use ib_mgmt::keymgmt::KeyEpoch;
+        let (tx, mut rx) = pair(ChannelSecurity::AuthReplay);
+        let mut tx = tx;
+        rx.set_epoch_grace(100);
+
+        let mut old_pkt = rc_packet(0, b"sealed pre-rotation");
+        tx.seal(&mut old_pkt).unwrap();
+        assert_eq!(old_pkt.bth.key_epoch, 0);
+
+        // Rotation at t=50: sender first (stamps epoch 1 immediately).
+        let s1 = SecretKey::from_seed(1234);
+        tx.install_epoch(50, KeyEpoch(1), s1);
+        assert_eq!(tx.send_epoch(), KeyEpoch(1));
+        let mut new_pkt = rc_packet(1, b"sealed post-rotation");
+        tx.seal(&mut new_pkt).unwrap();
+        assert_eq!(new_pkt.bth.key_epoch, 1);
+
+        // Receiver still at epoch 0: future-epoch miss, recoverable.
+        assert!(matches!(
+            rx.admit(&new_pkt),
+            Err(ChannelError::Auth(AuthError::FutureEpoch(1)))
+        ));
+        assert_eq!(rx.stats.rejected_future_epoch, 1);
+
+        // Key-update lands at t=60; both epochs verify until t=160.
+        rx.install_epoch(60, KeyEpoch(1), s1);
+        rx.advance_time(70);
+        assert_eq!(rx.admit(&new_pkt).unwrap(), Admit::Fresh);
+        assert_eq!(rx.admit(&old_pkt).unwrap(), Admit::Fresh);
+
+        // Grace expires: a held-back epoch-0 capture is dead for good.
+        rx.advance_time(160);
+        let mut held = rc_packet(2, b"attacker held this");
+        // (sealed under epoch 0 by a pre-rotation sender)
+        let (old_tx, _) = pair(ChannelSecurity::AuthReplay);
+        old_tx.seal(&mut held).unwrap();
+        assert!(matches!(
+            rx.admit(&held),
+            Err(ChannelError::Auth(AuthError::StaleEpoch(0)))
+        ));
+        assert_eq!(rx.stats.rejected_stale_epoch, 1);
+        assert_eq!(rx.stats.rejected_auth, 0, "epoch misses counted apart");
+    }
+
+    /// Grace 0 is a hard cutover: the old epoch dies the moment time
+    /// advances past the install.
+    #[test]
+    fn zero_grace_hard_cutover() {
+        use ib_mgmt::keymgmt::KeyEpoch;
+        let (tx, mut rx) = pair(ChannelSecurity::Auth);
+        let mut old_pkt = rc_packet(0, b"in flight");
+        tx.seal(&mut old_pkt).unwrap();
+        let s1 = SecretKey::from_seed(9);
+        rx.install_epoch(10, KeyEpoch(1), s1);
+        rx.advance_time(10);
+        assert!(matches!(
+            rx.admit(&old_pkt),
+            Err(ChannelError::Auth(AuthError::StaleEpoch(0)))
+        ));
+    }
+
+    /// NoAuth channels ignore the whole epoch plane.
+    #[test]
+    fn noauth_ignores_epochs() {
+        use ib_mgmt::keymgmt::KeyEpoch;
+        let (tx, mut rx) = pair(ChannelSecurity::NoAuth);
+        let mut pkt = rc_packet(0, b"plain");
+        tx.seal(&mut pkt).unwrap();
+        rx.install_epoch(0, KeyEpoch(5), SecretKey::from_seed(1));
+        rx.advance_time(1_000_000);
+        assert_eq!(rx.admit(&pkt).unwrap(), Admit::Fresh);
+        assert_eq!(rx.send_epoch(), KeyEpoch::ZERO);
     }
 
     #[test]

@@ -42,6 +42,112 @@ impl SecretKey {
     }
 }
 
+/// A monotonically increasing key-epoch number (the key plane's version
+/// counter for one scope index).
+///
+/// The wire carries only the low 7 bits (BTH `Resv7b` — see
+/// `ib_packet::bth`); [`KeyEpoch::wire_id`] produces them and
+/// [`KeyEpoch::resolve_wire`] reconstructs the full epoch at the receiver
+/// using a half-ring rule against its own current epoch, exactly like PSN
+/// windows disambiguate 24-bit sequence numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KeyEpoch(pub u32);
+
+impl KeyEpoch {
+    /// The pre-rotation epoch every scope starts in. Its wire id is 0, so
+    /// epoch-less traffic and epoch-0 traffic are byte-identical.
+    pub const ZERO: KeyEpoch = KeyEpoch(0);
+
+    /// The successor epoch.
+    pub fn next(self) -> KeyEpoch {
+        KeyEpoch(self.0 + 1)
+    }
+
+    /// The 7-bit on-wire id (BTH `Resv7b`).
+    pub fn wire_id(self) -> u8 {
+        (self.0 & 0x7F) as u8
+    }
+
+    /// Reconstruct the full epoch a wire id names, relative to `current`:
+    /// ids up to 63 steps ahead of `current` (mod 128) resolve forward,
+    /// the rest resolve backward (`None` if that would precede epoch 0).
+    /// Sound as long as fewer than 64 rotations happen within one
+    /// end-to-end delivery window — rotation periods are many RTTs.
+    pub fn resolve_wire(wire: u8, current: KeyEpoch) -> Option<KeyEpoch> {
+        let diff = wire.wrapping_sub(current.wire_id()) & 0x7F;
+        if diff < 64 {
+            Some(KeyEpoch(current.0 + diff as u32))
+        } else {
+            current.0.checked_sub(128 - diff as u32).map(KeyEpoch)
+        }
+    }
+}
+
+/// A small ordered set of live `(epoch, key)` versions for one scope index
+/// — the receive side holds epoch N and (inside the grace window) N−1; the
+/// send side always uses the newest.
+#[derive(Debug, Clone, Default)]
+pub struct EpochRing {
+    /// Sorted ascending by epoch; the last entry is current. Never empty
+    /// once a key is installed.
+    entries: Vec<(KeyEpoch, SecretKey)>,
+}
+
+impl EpochRing {
+    /// A ring holding `secret` at [`KeyEpoch::ZERO`].
+    pub fn new(secret: SecretKey) -> Self {
+        EpochRing {
+            entries: vec![(KeyEpoch::ZERO, secret)],
+        }
+    }
+
+    /// The newest `(epoch, key)` version, if any key is installed.
+    pub fn current(&self) -> Option<(KeyEpoch, SecretKey)> {
+        self.entries.last().copied()
+    }
+
+    /// Install (or replace) the key for `epoch`, keeping the ring sorted.
+    pub fn install(&mut self, epoch: KeyEpoch, secret: SecretKey) {
+        match self.entries.binary_search_by_key(&epoch, |e| e.0) {
+            Ok(i) => self.entries[i].1 = secret,
+            Err(i) => self.entries.insert(i, (epoch, secret)),
+        }
+    }
+
+    /// Drop every version strictly below `epoch` (grace-window expiry).
+    pub fn retire_below(&mut self, epoch: KeyEpoch) {
+        self.entries.retain(|e| e.0 >= epoch);
+    }
+
+    /// The key installed for exactly `epoch`.
+    pub fn secret_at(&self, epoch: KeyEpoch) -> Option<SecretKey> {
+        self.entries
+            .binary_search_by_key(&epoch, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Find the live version matching a 7-bit wire id, newest first (the
+    /// verify path: current epoch matches instantly, graced ones next).
+    pub fn secret_by_wire(&self, wire: u8) -> Option<(KeyEpoch, SecretKey)> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.0.wire_id() == wire)
+            .copied()
+    }
+
+    /// Number of live versions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no version is installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// An encrypted secret key in flight (the toy-RSA envelope).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeyEnvelope {
@@ -64,10 +170,14 @@ impl KeyEnvelope {
     }
 }
 
-/// SM-side partition-level key manager (§4.2).
+/// SM-side partition-level key manager (§4.2), extended with
+/// epoch-numbered key versions for the replicated key plane: every
+/// partition holds an [`EpochRing`], [`Self::rotate`] mints the next
+/// epoch's secret, and a follower replica mirrors the leader's versions
+/// through [`Self::install_version`].
 #[derive(Debug, Default)]
 pub struct PartitionKeyManager {
-    secrets: HashMap<PKey, SecretKey>,
+    secrets: HashMap<PKey, EpochRing>,
     counter: u64,
     seed: u64,
 }
@@ -82,37 +192,73 @@ impl PartitionKeyManager {
         }
     }
 
-    /// Create (or look up) the secret for a partition. "When the SM creates
-    /// a partition, it generates a secret key for that partition."
-    pub fn create_partition(&mut self, pkey: PKey) -> SecretKey {
+    fn mint(&mut self, pkey: PKey) -> SecretKey {
         self.counter += 1;
-        let seed = self.seed ^ (self.counter << 17) ^ pkey.0 as u64;
-        *self
-            .secrets
-            .entry(pkey)
-            .or_insert_with(|| SecretKey::from_seed(seed))
+        SecretKey::from_seed(self.seed ^ (self.counter << 17) ^ pkey.0 as u64)
     }
 
-    /// The secret for `pkey`, if the partition exists.
+    /// Create (or look up) the secret for a partition. "When the SM creates
+    /// a partition, it generates a secret key for that partition." Returns
+    /// the partition's *current* secret.
+    pub fn create_partition(&mut self, pkey: PKey) -> SecretKey {
+        if let Some((_, s)) = self.secrets.get(&pkey).and_then(EpochRing::current) {
+            return s;
+        }
+        let s = self.mint(pkey);
+        self.secrets.insert(pkey, EpochRing::new(s));
+        s
+    }
+
+    /// The current secret for `pkey`, if the partition exists.
     pub fn secret(&self, pkey: PKey) -> Option<SecretKey> {
-        self.secrets.get(&pkey).copied()
+        Some(self.secrets.get(&pkey)?.current()?.1)
     }
 
-    /// Envelope the partition secret for one member CA.
+    /// The current `(epoch, secret)` version for `pkey`.
+    pub fn current(&self, pkey: PKey) -> Option<(KeyEpoch, SecretKey)> {
+        self.secrets.get(&pkey)?.current()
+    }
+
+    /// The secret `pkey` had at exactly `epoch`, if still retained.
+    pub fn secret_at(&self, pkey: PKey, epoch: KeyEpoch) -> Option<SecretKey> {
+        self.secrets.get(&pkey)?.secret_at(epoch)
+    }
+
+    /// Mint the next epoch's secret for `pkey` — the leader's rotation
+    /// step. Returns the new `(epoch, secret)` version.
+    pub fn rotate(&mut self, pkey: PKey) -> Option<(KeyEpoch, SecretKey)> {
+        let epoch = self.secrets.get(&pkey)?.current()?.0.next();
+        let s = self.mint(pkey);
+        self.secrets.get_mut(&pkey)?.install(epoch, s);
+        Some((epoch, s))
+    }
+
+    /// Mirror a key version minted elsewhere (follower replicas applying
+    /// the leader's replicate-key MADs; also how a new leader adopts
+    /// versions it never minted).
+    pub fn install_version(&mut self, pkey: PKey, epoch: KeyEpoch, secret: SecretKey) {
+        self.secrets.entry(pkey).or_default().install(epoch, secret);
+    }
+
+    /// Envelope the current partition secret for one member CA.
     pub fn distribute(&self, pkey: PKey, member: &PublicKey) -> Option<KeyEnvelope> {
-        Some(KeyEnvelope::seal(self.secrets.get(&pkey)?, member))
+        Some(KeyEnvelope::seal(&self.secret(pkey)?, member))
     }
 }
 
 /// CA-side key tables — the per-node tables of Figures 2 and 3 combined.
+/// Partition and connection scopes hold epoch-versioned rings (the lazy
+/// re-keying state); datagram secrets stay single-version — they are
+/// already minted fresh per Q_Key request.
 #[derive(Debug, Default)]
 pub struct NodeKeyTable {
-    /// Figure 2: P_Key → partition secret.
-    partition: HashMap<PKey, SecretKey>,
+    /// Figure 2: P_Key → epoch-versioned partition secrets.
+    partition: HashMap<PKey, EpochRing>,
     /// Figure 3 (datagram): (my Q_Key, peer source QP) → secret.
     datagram: HashMap<(QKey, Qpn), SecretKey>,
-    /// Connected service: local QP → secret shared with its bound peer.
-    connection: HashMap<Qpn, SecretKey>,
+    /// Connected service: local QP → epoch-versioned secrets shared with
+    /// its bound peer.
+    connection: HashMap<Qpn, EpochRing>,
 }
 
 impl NodeKeyTable {
@@ -121,14 +267,41 @@ impl NodeKeyTable {
         Self::default()
     }
 
-    /// Install a partition secret received from the SM.
+    /// Install a partition secret received from the SM (at
+    /// [`KeyEpoch::ZERO`] — the pre-rotation install path).
     pub fn install_partition_secret(&mut self, pkey: PKey, secret: SecretKey) {
-        self.partition.insert(pkey, secret);
+        self.install_partition_epoch(pkey, KeyEpoch::ZERO, secret);
     }
 
-    /// Look up by P_Key (partition-level authentication).
+    /// Install a partition secret for a specific epoch (key-update MADs).
+    pub fn install_partition_epoch(&mut self, pkey: PKey, epoch: KeyEpoch, secret: SecretKey) {
+        self.partition
+            .entry(pkey)
+            .or_default()
+            .install(epoch, secret);
+    }
+
+    /// Look up by P_Key (partition-level authentication): the *current*
+    /// epoch's secret.
     pub fn partition_secret(&self, pkey: PKey) -> Option<SecretKey> {
-        self.partition.get(&pkey).copied()
+        Some(self.partition.get(&pkey)?.current()?.1)
+    }
+
+    /// The current partition key epoch (what the send side stamps).
+    pub fn partition_epoch(&self, pkey: PKey) -> Option<KeyEpoch> {
+        Some(self.partition.get(&pkey)?.current()?.0)
+    }
+
+    /// Resolve a 7-bit wire epoch id to a live partition key version.
+    pub fn partition_secret_by_wire(&self, pkey: PKey, wire: u8) -> Option<(KeyEpoch, SecretKey)> {
+        self.partition.get(&pkey)?.secret_by_wire(wire)
+    }
+
+    /// Drop partition key versions older than `epoch` (grace expiry).
+    pub fn retire_partition_below(&mut self, pkey: PKey, epoch: KeyEpoch) {
+        if let Some(ring) = self.partition.get_mut(&pkey) {
+            ring.retire_below(epoch);
+        }
     }
 
     /// Install a per-(Q_Key, source QP) datagram secret.
@@ -142,19 +315,50 @@ impl NodeKeyTable {
         self.datagram.get(&(qkey, src_qp)).copied()
     }
 
-    /// Install a connection secret for a bound QP.
+    /// Install a connection secret for a bound QP (at [`KeyEpoch::ZERO`]).
     pub fn install_connection_secret(&mut self, local_qp: Qpn, secret: SecretKey) {
-        self.connection.insert(local_qp, secret);
+        self.install_connection_epoch(local_qp, KeyEpoch::ZERO, secret);
     }
 
-    /// Look up the connection secret for a bound QP.
+    /// Install a connection secret for a specific epoch.
+    pub fn install_connection_epoch(&mut self, local_qp: Qpn, epoch: KeyEpoch, secret: SecretKey) {
+        self.connection
+            .entry(local_qp)
+            .or_default()
+            .install(epoch, secret);
+    }
+
+    /// Look up the current connection secret for a bound QP.
     pub fn connection_secret(&self, local_qp: Qpn) -> Option<SecretKey> {
-        self.connection.get(&local_qp).copied()
+        Some(self.connection.get(&local_qp)?.current()?.1)
     }
 
-    /// Total stored secrets (memory accounting).
+    /// The current connection key epoch for a bound QP.
+    pub fn connection_epoch(&self, local_qp: Qpn) -> Option<KeyEpoch> {
+        Some(self.connection.get(&local_qp)?.current()?.0)
+    }
+
+    /// Resolve a 7-bit wire epoch id to a live connection key version.
+    pub fn connection_secret_by_wire(
+        &self,
+        local_qp: Qpn,
+        wire: u8,
+    ) -> Option<(KeyEpoch, SecretKey)> {
+        self.connection.get(&local_qp)?.secret_by_wire(wire)
+    }
+
+    /// Drop connection key versions older than `epoch` (grace expiry).
+    pub fn retire_connection_below(&mut self, local_qp: Qpn, epoch: KeyEpoch) {
+        if let Some(ring) = self.connection.get_mut(&local_qp) {
+            ring.retire_below(epoch);
+        }
+    }
+
+    /// Total stored secrets across all live epochs (memory accounting).
     pub fn len(&self) -> usize {
-        self.partition.len() + self.datagram.len() + self.connection.len()
+        self.partition.values().map(EpochRing::len).sum::<usize>()
+            + self.datagram.len()
+            + self.connection.values().map(EpochRing::len).sum::<usize>()
     }
 
     /// Whether no secrets are stored.
@@ -257,6 +461,57 @@ mod tests {
         assert_ne!(env.open(&sk2), Some(secret));
     }
 
+    /// Negative path: a mismatched private key must never reconstruct the
+    /// sealed secret — across many keypairs, either decryption fails
+    /// outright (bad length framing) or yields garbage bytes.
+    #[test]
+    fn envelope_mismatched_private_key_never_recovers_secret() {
+        let (pk, sk) = generate_keypair(40);
+        let secret = SecretKey::from_seed(123);
+        let env = KeyEnvelope::seal(&secret, &pk);
+        assert_eq!(env.open(&sk), Some(secret), "sanity: right key works");
+        for wrong_seed in 41..61 {
+            let (_, wrong_sk) = generate_keypair(wrong_seed);
+            assert_ne!(
+                env.open(&wrong_sk),
+                Some(secret),
+                "seed {wrong_seed}: wrong private key recovered the secret"
+            );
+        }
+    }
+
+    /// Negative path: tampered envelopes — flipped ciphertext blocks, a
+    /// corrupted length block, truncation, and an empty ciphertext — must
+    /// not open to the original secret.
+    #[test]
+    fn envelope_tampering_detected() {
+        let (pk, sk) = generate_keypair(77);
+        let secret = SecretKey::from_seed(555);
+        let env = KeyEnvelope::seal(&secret, &pk);
+
+        // Flip each ciphertext block in turn (block 0 is the length).
+        for i in 0..env.ciphertext.len() {
+            let mut bad = env.clone();
+            bad.ciphertext[i] ^= 1;
+            assert_ne!(
+                bad.open(&sk),
+                Some(secret),
+                "block {i}: tampered envelope opened to the secret"
+            );
+        }
+        // Truncate: drop the last block.
+        let mut short = env.clone();
+        short.ciphertext.pop();
+        assert_eq!(short.open(&sk), None, "truncated envelope must not open");
+        // Empty ciphertext.
+        let empty = KeyEnvelope { ciphertext: vec![] };
+        assert_eq!(empty.open(&sk), None);
+        // Length block claiming more bytes than the blocks carry.
+        let mut overlong = env.clone();
+        overlong.ciphertext.remove(1);
+        assert_eq!(overlong.open(&sk), None);
+    }
+
     #[test]
     fn partition_flow_figure2() {
         // SM creates partitions I and II; nodes A, B share I; A, C share II.
@@ -356,5 +611,94 @@ mod tests {
         t.install_datagram_secret(QKey(2), Qpn(3), SecretKey::from_seed(2));
         t.install_connection_secret(Qpn(4), SecretKey::from_seed(3));
         assert_eq!(t.len(), 3);
+        // A second epoch is a second live secret until retired.
+        t.install_partition_epoch(PKey(1), KeyEpoch(1), SecretKey::from_seed(4));
+        assert_eq!(t.len(), 4);
+        t.retire_partition_below(PKey(1), KeyEpoch(1));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn wire_id_resolution_half_ring() {
+        // Forward within 63 steps.
+        assert_eq!(
+            KeyEpoch::resolve_wire(5, KeyEpoch(3)),
+            Some(KeyEpoch(5)),
+            "small forward step"
+        );
+        // Backward: wire 126 seen by a receiver at epoch 128 (wire 0).
+        assert_eq!(
+            KeyEpoch::resolve_wire(126, KeyEpoch(128)),
+            Some(KeyEpoch(126))
+        );
+        // Forward across the 7-bit wrap: receiver at 126, wire 2 → 130.
+        assert_eq!(
+            KeyEpoch::resolve_wire(2, KeyEpoch(126)),
+            Some(KeyEpoch(130))
+        );
+        // Backward below zero is unrepresentable.
+        assert_eq!(KeyEpoch::resolve_wire(127, KeyEpoch(0)), None);
+        // Identity.
+        for cur in [0u32, 1, 64, 127, 128, 1000] {
+            let cur = KeyEpoch(cur);
+            assert_eq!(KeyEpoch::resolve_wire(cur.wire_id(), cur), Some(cur));
+        }
+    }
+
+    #[test]
+    fn epoch_ring_install_retire_lookup() {
+        let (s0, s1, s2) = (
+            SecretKey::from_seed(1),
+            SecretKey::from_seed(2),
+            SecretKey::from_seed(3),
+        );
+        let mut ring = EpochRing::new(s0);
+        assert_eq!(ring.current(), Some((KeyEpoch::ZERO, s0)));
+        // Out-of-order install keeps the ring sorted.
+        ring.install(KeyEpoch(2), s2);
+        ring.install(KeyEpoch(1), s1);
+        assert_eq!(ring.current(), Some((KeyEpoch(2), s2)));
+        assert_eq!(ring.secret_at(KeyEpoch(1)), Some(s1));
+        assert_eq!(ring.secret_by_wire(0), Some((KeyEpoch::ZERO, s0)));
+        assert_eq!(ring.secret_by_wire(2), Some((KeyEpoch(2), s2)));
+        assert_eq!(ring.secret_by_wire(3), None);
+        ring.retire_below(KeyEpoch(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.secret_by_wire(0), None, "graced-out version is gone");
+        // Re-install replaces in place.
+        ring.install(KeyEpoch(2), s0);
+        assert_eq!(ring.current(), Some((KeyEpoch(2), s0)));
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn manager_rotation_and_follower_mirroring() {
+        let mut leader = PartitionKeyManager::new(9);
+        let pkey = PKey(0x8001);
+        let s0 = leader.create_partition(pkey);
+        assert_eq!(leader.current(pkey), Some((KeyEpoch::ZERO, s0)));
+
+        let (e1, s1) = leader.rotate(pkey).unwrap();
+        assert_eq!(e1, KeyEpoch(1));
+        assert_ne!(s1, s0, "rotation mints a fresh secret");
+        assert_eq!(leader.secret(pkey), Some(s1), "secret() tracks current");
+        assert_eq!(leader.secret_at(pkey, KeyEpoch::ZERO), Some(s0));
+        assert_eq!(
+            leader.create_partition(pkey),
+            s1,
+            "re-create returns the current version, not a reset"
+        );
+
+        // A follower mirrors versions it never minted and can take over.
+        let mut follower = PartitionKeyManager::new(9999);
+        follower.install_version(pkey, KeyEpoch::ZERO, s0);
+        follower.install_version(pkey, e1, s1);
+        assert_eq!(follower.current(pkey), Some((e1, s1)));
+        let (e2, s2) = follower.rotate(pkey).unwrap();
+        assert_eq!(e2, KeyEpoch(2));
+        assert_ne!(s2, s1);
+
+        // rotate() on an unknown partition is a no-op.
+        assert_eq!(leader.rotate(PKey(0x4444)), None);
     }
 }

@@ -34,7 +34,7 @@ pub mod trap;
 pub use enforcement::{
     DptEnforcer, EnforcementKind, FilterDecision, IfEnforcer, PartitionEnforcer, SifEnforcer,
 };
-pub use keymgmt::{PartitionKeyManager, QpKeyManager, SecretKey};
+pub use keymgmt::{EpochRing, KeyEpoch, PartitionKeyManager, QpKeyManager, SecretKey};
 pub use partition::{PartitionConfig, PartitionTable};
 pub use sm::SubnetManager;
 pub use trap::{Trap, TrapKind};

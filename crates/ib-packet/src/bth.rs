@@ -7,7 +7,7 @@
 //! bytes 2-3:  P_Key
 //! byte 4:     Resv8a    ←  the paper's authentication-function selector
 //! bytes 5-7:  DestQP (24)
-//! byte 8:     A (1) | Resv7b (7)
+//! byte 8:     A (1) | Resv7b (7)  ←  Resv7b carries the key-epoch id
 //! bytes 9-11: PSN (24)
 //! ```
 //!
@@ -16,6 +16,14 @@
 //! the selector without perturbing the ICRC/AT itself: the selector travels
 //! outside the authenticated coverage, while tampering with it merely makes
 //! verification fail.
+//!
+//! `Resv7b` (the low 7 bits of byte 8) is an *invariant* field — covered by
+//! the ICRC/MAC — so the key-management plane uses it as the **key-epoch
+//! id**: the low 7 bits of the epoch the sender's MAC key belongs to. The
+//! receiver reconstructs the full epoch against its own current one and
+//! picks the matching key; tampering with the epoch in flight changes the
+//! authenticated message and fails verification. Epoch 0 keeps the byte
+//! bit-identical to pre-epoch traffic.
 
 use crate::error::ParseError;
 use crate::opcode::OpCode;
@@ -43,9 +51,15 @@ pub struct Bth {
     pub dest_qp: Qpn,
     /// Acknowledge-request bit.
     pub ack_req: bool,
+    /// Key-epoch id (7 bits, spec `Resv7b`): low bits of the epoch the
+    /// sender's MAC key belongs to. Invariant — covered by the ICRC/MAC.
+    pub key_epoch: u8,
     /// Packet sequence number.
     pub psn: Psn,
 }
+
+/// Mask for the 7-bit on-wire key-epoch id in BTH byte 8.
+pub const KEY_EPOCH_WIRE_MASK: u8 = 0x7F;
 
 /// Serialized BTH size in bytes.
 pub const BTH_LEN: usize = 12;
@@ -65,7 +79,7 @@ impl Bth {
         b[4] = self.resv8a;
         let dqp = self.dest_qp.0.to_be_bytes();
         b[5..8].copy_from_slice(&dqp[1..4]);
-        b[8] = (self.ack_req as u8) << 7;
+        b[8] = ((self.ack_req as u8) << 7) | (self.key_epoch & KEY_EPOCH_WIRE_MASK);
         let psn = self.psn.0.to_be_bytes();
         b[9..12].copy_from_slice(&psn[1..4]);
         b
@@ -94,6 +108,7 @@ impl Bth {
             resv8a: buf[4],
             dest_qp: Qpn(u32::from_be_bytes([0, buf[5], buf[6], buf[7]])),
             ack_req: buf[8] & 0x80 != 0,
+            key_epoch: buf[8] & KEY_EPOCH_WIRE_MASK,
             psn: Psn(u32::from_be_bytes([0, buf[9], buf[10], buf[11]])),
         })
     }
@@ -111,6 +126,7 @@ impl Default for Bth {
             resv8a: 0,
             dest_qp: Qpn(0),
             ack_req: false,
+            key_epoch: 0,
             psn: Psn(0),
         }
     }
@@ -131,6 +147,7 @@ mod tests {
             resv8a: 1, // UMAC selector
             dest_qp: Qpn(0x00AB_CDEF),
             ack_req: true,
+            key_epoch: 0,
             psn: Psn(0x123456),
         }
     }
@@ -175,5 +192,33 @@ mod tests {
     #[test]
     fn default_is_icrc_mode() {
         assert_eq!(Bth::default().resv8a, 0);
+        assert_eq!(Bth::default().key_epoch, 0, "epoch 0 = pre-epoch wire");
+    }
+
+    #[test]
+    fn key_epoch_shares_byte8_with_ack_bit() {
+        let mut bth = sample();
+        bth.key_epoch = 0x55;
+        let b = bth.to_bytes();
+        assert_eq!(b[8], 0x80 | 0x55, "A bit high, epoch in Resv7b");
+        let parsed = Bth::parse(&b).unwrap();
+        assert!(parsed.ack_req);
+        assert_eq!(parsed.key_epoch, 0x55);
+
+        bth.ack_req = false;
+        bth.key_epoch = 0x7F;
+        let parsed = Bth::parse(&bth.to_bytes()).unwrap();
+        assert!(!parsed.ack_req);
+        assert_eq!(parsed.key_epoch, 0x7F);
+    }
+
+    #[test]
+    fn key_epoch_truncated_to_seven_bits() {
+        let mut bth = sample();
+        bth.ack_req = false;
+        bth.key_epoch = 0xFF; // bit 7 must not leak into the A bit
+        let b = bth.to_bytes();
+        assert_eq!(b[8], 0x7F);
+        assert!(!Bth::parse(&b).unwrap().ack_req);
     }
 }

@@ -74,6 +74,22 @@ pub mod attr {
     /// the paper's SIF needs a new SMP, which the spec's vendor space
     /// (0xFF00-0xFFFF) accommodates without protocol changes.
     pub const INVALID_P_KEY_TABLE: u16 = 0xFF10;
+
+    // 0xFF20-0xFF2F: the replicated-SM key plane (`ib-sm`). Like SIF's
+    // programming SMP these live in the vendor space, so the protocol is
+    // pure MADs — no new wire formats.
+
+    /// Leader → replicas liveness beacon, carrying `(term, leader id)`.
+    pub const SM_HEARTBEAT: u16 = 0xFF20;
+    /// Replica → replicas leadership claim for a term (deterministic
+    /// ranked election).
+    pub const SM_LEADER_CLAIM: u16 = 0xFF21;
+    /// Leader → follower replica: mirror an `(epoch, partition key)`
+    /// version (Set) / follower ack (GetResp).
+    pub const SM_KEY_REPLICATE: u16 = 0xFF22;
+    /// Leader → CA: install a new key epoch, secret sealed in a toy-RSA
+    /// key envelope (Set) / CA ack (GetResp).
+    pub const SM_KEY_UPDATE: u16 = 0xFF23;
 }
 
 /// A parsed MAD.

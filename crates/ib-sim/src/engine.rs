@@ -548,15 +548,27 @@ impl Simulator {
     /// still happens — the host transport's CRC/MAC decides its fate.
     /// No abstract-path ICRC is rendered and no receive-side P_Key check
     /// runs; the bytes themselves carry those protections.
+    ///
+    /// Posting on VL 15 marks the packet [`TrafficClass::Management`] —
+    /// the subnet-management lane MADs ride on. VL arbitration scans
+    /// lanes highest-first, so management datagrams (heartbeats, election
+    /// claims, key updates) preempt data traffic at every hop instead of
+    /// queueing behind it — the property that keeps failover and
+    /// re-keying latency bounded under load.
     pub fn post_host(&mut self, src: usize, dst: usize, vl: u8, bytes: Vec<u8>) {
         self.next_packet_id += 1;
         self.stats.generated += 1;
         let pkey = PKey(0x8000 | (self.node_partition[src] as u16 + 1));
+        let class = if vl == 15 {
+            TrafficClass::Management
+        } else {
+            TrafficClass::BestEffort
+        };
         let packet = SimPacket {
             id: self.next_packet_id,
             src,
             dst,
-            class: TrafficClass::BestEffort,
+            class,
             pkey,
             vl,
             bytes: bytes.len(),
@@ -1163,6 +1175,9 @@ impl Simulator {
             if packet.corrupted && !bytes.is_empty() {
                 let mid = bytes.len() / 2;
                 bytes[mid] ^= 0xFF;
+            }
+            if packet.vl == 15 {
+                self.stats.mgmt_delivered += 1;
             }
             self.host_inbox.push_back(HostDelivery {
                 at: self.now,

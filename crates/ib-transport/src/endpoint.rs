@@ -81,7 +81,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use ib_mgmt::keymgmt::SecretKey;
+use ib_mgmt::keymgmt::{KeyEpoch, SecretKey};
 use ib_packet::types::{Lid, PKey, Psn, Qpn, RKey};
 use ib_packet::{Aeth, AethKind, NakCode, OpCode, Operation, Packet, PacketBuilder, Reth};
 use ib_security::{Admit, ChannelSecurity, SecureChannel};
@@ -301,6 +301,20 @@ impl SecureRcEndpoint {
         &self.channel
     }
 
+    /// Configure how long a superseded key epoch keeps verifying after
+    /// its successor is installed (see [`SecureChannel::set_epoch_grace`]).
+    pub fn set_epoch_grace(&mut self, grace: SimTime) {
+        self.channel.set_epoch_grace(grace);
+    }
+
+    /// Install a key version learned from the SM's key-update MAD: the
+    /// next [`Self::poll_into`] seals (and re-seals retransmits) under the
+    /// newest epoch, while inbound traffic under older epochs keeps
+    /// verifying until the grace window runs out.
+    pub fn install_epoch(&mut self, now: SimTime, epoch: KeyEpoch, secret: SecretKey) {
+        self.channel.install_epoch(now, epoch, secret);
+    }
+
     /// Messages fully received in order (the receiver half's MSN).
     pub fn rx_msn(&self) -> u32 {
         self.qp.msn()
@@ -345,6 +359,8 @@ impl SecureRcEndpoint {
     /// buffers come from the recycle pool when available; with a warm
     /// pool and warm templates this performs no heap allocation.
     pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<Vec<u8>>) {
+        // Retire key epochs whose rotation grace window has expired.
+        self.channel.advance_time(now);
         // Retransmission timer: a rewind makes poll_tx below re-emit.
         self.qp.on_timeout(now);
         // Delayed-ACK timer.
@@ -402,6 +418,7 @@ impl SecureRcEndpoint {
 
     /// Process one arriving wire buffer.
     pub fn handle_wire(&mut self, now: SimTime, bytes: &[u8]) {
+        self.channel.advance_time(now);
         let Ok(packet) = Packet::parse(bytes) else {
             self.stats.parse_drops += 1;
             return;

@@ -361,3 +361,79 @@ fn scratch_serialization_matches_allocating_forms() {
         },
     );
 }
+
+/// Management datagrams round-trip through their 256-byte wire form for
+/// arbitrary header fields and attribute payloads, and malformed buffers
+/// fail with the right error instead of mis-parsing.
+#[test]
+fn mad_roundtrip_and_malformed_buffers() {
+    use ib_packet::mad::{Mad, Method, MgmtClass, MAD_HEADER_LEN, MAD_LEN};
+    use ib_packet::ParseError;
+
+    const CLASSES: [MgmtClass; 2] = [MgmtClass::SubnLid, MgmtClass::SubnAdm];
+    const METHODS: [Method; 5] = [
+        Method::Get,
+        Method::Set,
+        Method::GetResp,
+        Method::Trap,
+        Method::TrapRepress,
+    ];
+
+    check::run(
+        "mad_roundtrip_and_malformed_buffers",
+        256,
+        |g| {
+            (
+                g.index(CLASSES.len()),
+                g.index(METHODS.len()),
+                g.u64(),
+                (g.u64(), g.bytes(0..MAD_LEN - MAD_HEADER_LEN)),
+            )
+        },
+        |(class, method, h, (tid, data))| {
+            check::shrink_bytes(data)
+                .into_iter()
+                .map(|d| (*class, *method, *h, (*tid, d)))
+                .collect()
+        },
+        |&(class, method, h, (tid, ref data))| {
+            let mut mad = Mad {
+                mgmt_class: CLASSES[class],
+                method: METHODS[method],
+                status: h as u16,
+                transaction_id: tid,
+                attribute_id: (h >> 16) as u16,
+                attribute_modifier: (h >> 32) as u32,
+                data: [0; MAD_LEN - MAD_HEADER_LEN],
+            };
+            mad.data[..data.len()].copy_from_slice(data);
+
+            // Round trip: every field and the attribute payload survive.
+            let bytes = mad.to_bytes();
+            assert_eq!(bytes.len(), MAD_LEN);
+            let back = Mad::parse(&bytes).expect("well-formed MAD parses");
+            assert_eq!(back, mad);
+
+            // Truncation at any shorter length reports Truncated with an
+            // honest byte count, never a garbled MAD.
+            let cut = (tid % MAD_LEN as u64) as usize;
+            match Mad::parse(&bytes[..cut]) {
+                Err(ParseError::Truncated { needed, got }) => {
+                    assert_eq!(needed, MAD_LEN);
+                    assert_eq!(got, cut);
+                }
+                other => panic!("truncated parse must fail, got {other:?}"),
+            }
+
+            // Corrupt class / method bytes are rejected as unknown
+            // opcodes rather than aliasing onto a valid enum value.
+            let bad_class = 0x42u8 ^ (h as u8 & 0x10);
+            let mut b = bytes;
+            b[1] = bad_class;
+            assert_eq!(Mad::parse(&b), Err(ParseError::UnknownOpCode(bad_class)));
+            b[1] = bytes[1];
+            b[3] = 0x7F;
+            assert_eq!(Mad::parse(&b), Err(ParseError::UnknownOpCode(0x7F)));
+        },
+    );
+}
