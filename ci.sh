@@ -69,6 +69,20 @@ cargo run -q --release --offline -p bench --bin fig_rekey -- --smoke
 diff BENCH_fig_rekey.first.json BENCH_fig_rekey.json
 rm BENCH_fig_rekey.first.json
 
+echo "== fig_scale smoke (twice: results must be byte-identical) =="
+# The scale-out gate: generated fat-tree/dragonfly fabrics, multi-path
+# routing, packet vs flow-level engines. The binary's own asserts require
+# every flow to complete on every fabric (a routing or dateline-VC bug
+# deadlocks or strands flows) and the two engines to agree on the
+# calibration mesh; the byte-diff pins topology generation, ECMP hashing
+# and the max-min solver to the seed (wall-clock fields are zeroed in
+# smoke mode so the diff can hold).
+cargo run -q --release --offline -p bench --bin fig_scale -- --smoke
+mv BENCH_fig_scale.json BENCH_fig_scale.first.json
+cargo run -q --release --offline -p bench --bin fig_scale -- --smoke
+diff BENCH_fig_scale.first.json BENCH_fig_scale.json
+rm BENCH_fig_scale.first.json
+
 echo "== sim_engine smoke (scheduler equivalence + calendar-vs-heap gate) =="
 # The binary's own asserts gate (a) all three scheduler arms popping the
 # identical event stream and (b) the calendar queue keeping pace with the

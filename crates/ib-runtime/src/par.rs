@@ -193,8 +193,16 @@ mod tests {
         assert_eq!(out, vec![8, 9]);
     }
 
+    /// Serializes every test that reads or writes `IB_THREADS`: env
+    /// mutation is process-global and the test harness runs threads in
+    /// parallel, so an unlocked set/remove races any concurrent
+    /// `default_threads()` call. Lock via `into_inner` on poison — a
+    /// panicked holder left no state worse than a stale env var.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn default_threads_positive() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         assert!(default_threads() >= 1);
     }
 
@@ -231,9 +239,10 @@ mod tests {
 
     #[test]
     fn ib_threads_env_overrides() {
-        // Env mutation is process-global; this test sets and restores the
-        // variable, and no other test in this binary reads it mid-flight
-        // with a value-sensitive assertion.
+        // Env mutation is process-global: hold ENV_LOCK for the whole
+        // set/assert/remove sequence so `default_threads_positive` (or any
+        // future reader) can never observe a half-applied value.
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         std::env::set_var("IB_THREADS", "3");
         assert_eq!(default_threads(), 3);
         std::env::set_var("IB_THREADS", "not-a-number");

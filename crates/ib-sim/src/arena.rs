@@ -110,6 +110,7 @@ mod tests {
             icrc: 0,
             corrupted: false,
             wire: None,
+            flow: None,
         }
     }
 

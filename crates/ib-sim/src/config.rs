@@ -4,8 +4,68 @@
 use ib_mgmt::enforcement::EnforcementKind;
 use ib_runtime::{Json, Seed, ToJson};
 
+use crate::dragonfly::Dragonfly;
+use crate::fattree::FatTree;
 use crate::fault::FaultConfig;
 use crate::time::{SimTime, MS, NS, US};
+use crate::topology::{MeshTopology, Topology};
+
+/// Which fabric the simulation builds (see [`crate::topology`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoSpec {
+    /// The paper's §3.1 mesh; side length comes from
+    /// [`SimConfig::mesh_dim`].
+    Mesh,
+    /// k-ary fat-tree ([`crate::fattree::FatTree`]).
+    FatTree { k: usize },
+    /// Balanced dragonfly ([`crate::dragonfly::Dragonfly`]); `valiant`
+    /// selects non-minimal routing.
+    Dragonfly {
+        a: usize,
+        p: usize,
+        h: usize,
+        valiant: bool,
+    },
+}
+
+impl TopoSpec {
+    /// JSON form: `"mesh"`, `{"fat-tree": k}`, or
+    /// `{"dragonfly": {"a":…,"p":…,"h":…,"valiant":…}}`.
+    pub fn to_json(self) -> Json {
+        match self {
+            TopoSpec::Mesh => Json::Str("mesh".into()),
+            TopoSpec::FatTree { k } => Json::obj([("fat-tree", k.to_json())]),
+            TopoSpec::Dragonfly { a, p, h, valiant } => Json::obj([(
+                "dragonfly",
+                Json::obj([
+                    ("a", a.to_json()),
+                    ("p", p.to_json()),
+                    ("h", h.to_json()),
+                    ("valiant", valiant.to_json()),
+                ]),
+            )]),
+        }
+    }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(v: &Json) -> Option<TopoSpec> {
+        if v.as_str() == Some("mesh") {
+            return Some(TopoSpec::Mesh);
+        }
+        if let Some(k) = v.get("fat-tree") {
+            return Some(TopoSpec::FatTree {
+                k: k.as_u64()? as usize,
+            });
+        }
+        let d = v.get("dragonfly")?;
+        Some(TopoSpec::Dragonfly {
+            a: d.get("a")?.as_u64()? as usize,
+            p: d.get("p")?.as_u64()? as usize,
+            h: d.get("h")?.as_u64()? as usize,
+            valiant: d.get("valiant")?.as_bool()?,
+        })
+    }
+}
 
 /// Which P_Keys the attackers stamp on their flood.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -231,7 +291,10 @@ pub struct SimConfig {
     pub mtu_bytes: usize,
 
     // ---- fabric ----
+    /// Which fabric to build (mesh / fat-tree / dragonfly).
+    pub topology: TopoSpec,
     /// Mesh side length (mesh_dim² switches and nodes; 4 ⇒ the paper's 16).
+    /// Only read when `topology` is [`TopoSpec::Mesh`].
     pub mesh_dim: usize,
     /// Input-buffer capacity per (port, VL), in packets; the credit pool.
     pub vl_buffer_packets: u32,
@@ -305,6 +368,7 @@ impl Default for SimConfig {
             ports_per_switch: 5,
             num_vls: 16,
             mtu_bytes: 1024,
+            topology: TopoSpec::Mesh,
             mesh_dim: 4,
             vl_buffer_packets: 4,
             switch_latency: 100 * NS,
@@ -336,9 +400,22 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
-    /// Number of switches (== number of nodes) in the mesh.
+    /// Build the configured fabric.
+    pub fn build_topology(&self) -> Box<dyn Topology> {
+        match self.topology {
+            TopoSpec::Mesh => Box::new(MeshTopology::new(self.mesh_dim)),
+            TopoSpec::FatTree { k } => Box::new(FatTree::new(k)),
+            TopoSpec::Dragonfly { a, p, h, valiant } => Box::new(Dragonfly::new(a, p, h, valiant)),
+        }
+    }
+
+    /// Number of end nodes (HCAs) in the configured fabric.
     pub fn num_nodes(&self) -> usize {
-        self.mesh_dim * self.mesh_dim
+        match self.topology {
+            TopoSpec::Mesh => self.mesh_dim * self.mesh_dim,
+            TopoSpec::FatTree { k } => k * k * k / 4,
+            TopoSpec::Dragonfly { a, p, h, .. } => (a * h + 1) * a * p,
+        }
     }
 
     /// Mean packet inter-generation time for a given offered load fraction,
@@ -349,13 +426,17 @@ impl SimConfig {
     }
 
     /// Serialize every field to a JSON object (stored alongside results so
-    /// a report is reproducible from its own file).
+    /// a report is reproducible from its own file). The `topology` key is
+    /// omitted for the default mesh, keeping mesh result files (and their
+    /// byte-identity gates) identical to the pre-topology-subsystem form;
+    /// [`from_json`](Self::from_json) treats the missing key as mesh.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut obj = Json::obj([
             ("link_gbps", self.link_gbps.to_json()),
             ("ports_per_switch", self.ports_per_switch.to_json()),
             ("num_vls", self.num_vls.to_json()),
             ("mtu_bytes", self.mtu_bytes.to_json()),
+            ("topology", self.topology.to_json()),
             ("mesh_dim", self.mesh_dim.to_json()),
             ("vl_buffer_packets", self.vl_buffer_packets.to_json()),
             ("switch_latency", self.switch_latency.to_json()),
@@ -385,7 +466,13 @@ impl SimConfig {
             ("duration", self.duration.to_json()),
             ("warmup", self.warmup.to_json()),
             ("seed", self.seed.0.to_json()),
-        ])
+        ]);
+        if self.topology == TopoSpec::Mesh {
+            if let Json::Obj(pairs) = &mut obj {
+                pairs.retain(|(k, _)| k != "topology");
+            }
+        }
+        obj
     }
 
     /// Inverse of [`to_json`](Self::to_json); `None` on any missing or
@@ -396,6 +483,12 @@ impl SimConfig {
             ports_per_switch: v.get("ports_per_switch")?.as_u64()? as usize,
             num_vls: v.get("num_vls")?.as_u64()? as usize,
             mtu_bytes: v.get("mtu_bytes")?.as_u64()? as usize,
+            // Absent in configs serialized before the topology subsystem;
+            // those were all meshes.
+            topology: match v.get("topology") {
+                Some(t) => TopoSpec::from_json(t)?,
+                None => TopoSpec::Mesh,
+            },
             mesh_dim: v.get("mesh_dim")?.as_u64()? as usize,
             vl_buffer_packets: u32::try_from(v.get("vl_buffer_packets")?.as_u64()?).ok()?,
             switch_latency: v.get("switch_latency")?.as_u64()?,
@@ -531,6 +624,44 @@ mod tests {
         assert_eq!(back.link_gbps, cfg.link_gbps);
         assert_eq!(back.duration, cfg.duration);
         assert_eq!(back.warmup, cfg.warmup);
+    }
+
+    #[test]
+    fn topo_spec_json_round_trip() {
+        for spec in [
+            TopoSpec::Mesh,
+            TopoSpec::FatTree { k: 8 },
+            TopoSpec::Dragonfly {
+                a: 4,
+                p: 2,
+                h: 2,
+                valiant: true,
+            },
+        ] {
+            let text = spec.to_json().to_string();
+            assert_eq!(
+                TopoSpec::from_json(&Json::parse(&text).unwrap()),
+                Some(spec)
+            );
+        }
+
+        // Full-config round trip through a non-mesh topology; node count
+        // follows the spec, not mesh_dim.
+        let cfg = SimConfig {
+            topology: TopoSpec::FatTree { k: 4 },
+            ..SimConfig::default()
+        };
+        assert_eq!(cfg.num_nodes(), 16);
+        assert_eq!(cfg.build_topology().name(), "fat-tree");
+        let back = SimConfig::from_json(&Json::parse(&cfg.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back.topology, cfg.topology);
+
+        // Pre-subsystem configs (no "topology" key) parse as meshes.
+        let mut old = SimConfig::default().to_json();
+        if let Json::Obj(pairs) = &mut old {
+            pairs.retain(|(k, _)| k != "topology");
+        }
+        assert_eq!(SimConfig::from_json(&old).unwrap().topology, TopoSpec::Mesh);
     }
 
     #[test]

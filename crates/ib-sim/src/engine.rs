@@ -45,7 +45,7 @@ use crate::event::{Event, EventQueue, SimPacket};
 use crate::fault::{FaultInjector, FaultOutcome};
 use crate::metrics::ClassStats;
 use crate::time::{tx_time_ps, SimTime};
-use crate::topology::{MeshTopology, Peer, PORT_HOST};
+use crate::topology::{flow_hash, Peer, Topology};
 use crate::traffic::{exp_gap, TrafficClass};
 
 /// Per-switch runtime state.
@@ -191,7 +191,20 @@ impl SimReport {
 /// [`Simulator::run`].
 pub struct Simulator {
     cfg: SimConfig,
-    topo: MeshTopology,
+    topo: Box<dyn Topology>,
+    /// End-node count (`topo.num_nodes()`, cached off the vtable).
+    n_nodes: usize,
+    /// Uniform switch radix (`topo.radix()`, cached off the vtable).
+    radix: usize,
+    /// node → its `(switch, port)` attachment.
+    attach: Vec<(usize, usize)>,
+    /// Flattened `[switch * radix + port]` — true where an HCA hangs off
+    /// the port (the enforcement layer's edge/ingress distinction).
+    is_host_port: Vec<bool>,
+    /// Flattened `[switch * radix + port]` — true where the output link
+    /// crosses the topology's deadlock dateline (packets escalate to the
+    /// next VL as they cross; see [`Topology::is_dateline`]).
+    is_dateline: Vec<bool>,
     queue: EventQueue,
     switches: Vec<SwitchState>,
     hcas: Vec<HcaState>,
@@ -235,6 +248,30 @@ pub struct Simulator {
     /// Host-injected packets that reached their destination HCA, awaiting
     /// [`take_host_delivery`](Self::take_host_delivery).
     host_inbox: VecDeque<HostDelivery>,
+    /// Flows posted via [`post_flow`](Self::post_flow), in posting order.
+    flows: Vec<FlowRecord>,
+}
+
+/// One finite transfer posted via [`Simulator::post_flow`]: segmented
+/// into MTU packets that ride the best-effort VL through the full
+/// packet-level machinery (credits, arbitration, enforcement). The flow
+/// completes when its last packet is delivered — the packet engine's
+/// ground-truth counterpart to `ib-flow`'s analytic completion times.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// Source node.
+    pub src: usize,
+    /// Destination node.
+    pub dst: usize,
+    /// Transfer size in bytes (segmented into MTU-sized packets).
+    pub bytes: u64,
+    /// When the flow was posted at the source HCA.
+    pub posted_at: SimTime,
+    /// Delivery time of the flow's last packet; `None` while in flight
+    /// (or forever, if a fault dropped one of its packets).
+    pub completed_at: Option<SimTime>,
+    /// Packets not yet delivered.
+    remaining: usize,
 }
 
 /// A host-injected packet delivered at its destination HCA: the wire
@@ -284,12 +321,26 @@ fn wire_icrc(scratch: &mut Vec<u8>, packet: &SimPacket) -> u32 {
 }
 
 impl Simulator {
-    /// Build a simulator: lays out the mesh, randomly groups nodes into
-    /// partitions (§3.1), picks attacker nodes, installs enforcement, and
-    /// primes the traffic sources.
+    /// Build a simulator: lays out the configured fabric (mesh, fat-tree
+    /// or dragonfly), randomly groups nodes into partitions (§3.1), picks
+    /// attacker nodes, installs enforcement, and primes the traffic
+    /// sources.
     pub fn new(cfg: SimConfig) -> Self {
-        let topo = MeshTopology::new(cfg.mesh_dim);
-        let n = topo.num_switches();
+        let topo = cfg.build_topology();
+        let n = topo.num_nodes();
+        let n_sw = topo.num_switches();
+        let radix = topo.radix();
+        let attach: Vec<(usize, usize)> = (0..n).map(|node| topo.host_attachment(node)).collect();
+        let mut is_host_port = vec![false; n_sw * radix];
+        for &(s, p) in &attach {
+            is_host_port[s * radix + p] = true;
+        }
+        let mut is_dateline = vec![false; n_sw * radix];
+        for s in 0..n_sw {
+            for p in 0..radix {
+                is_dateline[s * radix + p] = topo.is_dateline(s, p);
+            }
+        }
         let mut rng = cfg.seed.rng();
 
         // ---- random partitioning into num_partitions groups ----
@@ -308,8 +359,8 @@ impl Simulator {
 
         // ---- subnet manager ----
         let mut sm = SubnetManager::new(n, (cfg.seed ^ 0x5151).0);
-        for node in 0..n {
-            sm.attach(topo.lid_of(node), node, PORT_HOST);
+        for (node, &(s, p)) in attach.iter().enumerate() {
+            sm.attach(topo.lid_of(node), s, p);
         }
         for (pid, members) in partitions.iter().enumerate() {
             // Key distribution itself is exercised in ib-mgmt; the sim only
@@ -333,18 +384,20 @@ impl Simulator {
 
         // ---- switches ----
         let all_pkeys: Vec<PKey> = (0..partitions.len()).map(pkey_of).collect();
-        let mut switches = Vec::with_capacity(n);
-        for &host_partition in node_partition.iter().take(n) {
+        // Ingress filtering is configured per host port: each attachment
+        // admits only its node's partition key.
+        let mut if_ports: Vec<Vec<Option<Vec<PKey>>>> = vec![vec![None; radix]; n_sw];
+        for (node, &(s, p)) in attach.iter().enumerate() {
+            if_ports[s][p] = Some(vec![pkey_of(node_partition[node])]);
+        }
+        let mut switches = Vec::with_capacity(n_sw);
+        for ports in if_ports {
             let enforcement: Box<dyn PartitionEnforcer> = match cfg.enforcement {
                 EnforcementKind::NoFiltering => Box::new(NoEnforcer),
                 EnforcementKind::Dpt => Box::new(DptEnforcer::new(all_pkeys.iter().copied())),
-                EnforcementKind::If => {
-                    let mut ports: Vec<Option<Vec<PKey>>> = vec![None; cfg.ports_per_switch];
-                    ports[PORT_HOST] = Some(vec![pkey_of(host_partition)]);
-                    Box::new(IfEnforcer::new(ports))
-                }
+                EnforcementKind::If => Box::new(IfEnforcer::new(ports)),
                 EnforcementKind::Sif => Box::new(SifEnforcer::new(
-                    cfg.ports_per_switch,
+                    radix,
                     cfg.sif_idle_timeout,
                     // Cap the invalid table at a small multiple of the host
                     // partition table (paper: stop growing once it would
@@ -354,16 +407,16 @@ impl Simulator {
                 )),
             };
             switches.push(SwitchState {
-                in_q: (0..cfg.ports_per_switch)
+                in_q: (0..radix)
                     .map(|_| (0..cfg.num_vls).map(|_| VecDeque::new()).collect())
                     .collect(),
-                out_busy_until: vec![0; cfg.ports_per_switch],
-                out_credits: (0..cfg.ports_per_switch)
+                out_busy_until: vec![0; radix],
+                out_credits: (0..radix)
                     .map(|_| vec![cfg.vl_buffer_packets; cfg.num_vls])
                     .collect(),
-                forward_pending: vec![false; cfg.ports_per_switch],
-                rr: vec![0; cfg.ports_per_switch],
-                high_grants: vec![0; cfg.ports_per_switch],
+                forward_pending: vec![false; radix],
+                rr: vec![0; radix],
+                high_grants: vec![0; radix],
                 enforcement,
             });
         }
@@ -391,7 +444,7 @@ impl Simulator {
         // decisions never perturb another's.
         let faults = if cfg.fault.is_active() {
             let fseed = cfg.seed ^ 0xFA17_FA17;
-            let links = n + n * cfg.ports_per_switch;
+            let links = n + n_sw * radix;
             Some(
                 (0..links)
                     .map(|i| FaultInjector::new(cfg.fault, fseed.stream(i as u64)))
@@ -404,6 +457,11 @@ impl Simulator {
         let mut sim = Simulator {
             cfg,
             topo,
+            n_nodes: n,
+            radix,
+            attach,
+            is_host_port,
+            is_dateline,
             queue: EventQueue::new(),
             switches,
             hcas,
@@ -427,6 +485,7 @@ impl Simulator {
             events_processed: 0,
             held: VecDeque::new(),
             host_inbox: VecDeque::new(),
+            flows: Vec::new(),
         };
         sim.prime();
         sim
@@ -444,14 +503,24 @@ impl Simulator {
         }
     }
 
-    /// Injector index for the output `port` of `switch`.
+    /// Injector index for the output `port` of `switch` (HCA uplinks own
+    /// indices `0..n_nodes`).
     fn switch_link(&self, switch: usize, port: usize) -> usize {
-        self.topo.num_switches() + switch * self.cfg.ports_per_switch + port
+        self.n_nodes + switch * self.radix + port
+    }
+
+    /// The output port `switch` forwards the referenced packet on — the
+    /// topology's flow-hash-steered route, so every packet of a (src, dst)
+    /// flow takes the same path while distinct flows spread across the
+    /// fabric's path diversity.
+    fn route_of(&self, switch: usize, pref: PacketRef) -> usize {
+        let p = self.packets.get(pref);
+        self.topo.route_flow(switch, p.dst, flow_hash(p.src, p.dst))
     }
 
     /// Schedule the initial traffic and attack-epoch events.
     fn prime(&mut self) {
-        let n = self.topo.num_switches();
+        let n = self.n_nodes;
         for node in 0..n {
             if self.attackers.contains(&node) {
                 continue; // attacker nodes send only attack traffic (§3.1)
@@ -578,6 +647,7 @@ impl Simulator {
             icrc: 0,
             corrupted: false,
             wire: Some(bytes),
+            flow: None,
         };
         let qvl = vl as usize;
         let pref = self.packets.insert(packet);
@@ -622,6 +692,11 @@ impl Simulator {
         self.now
     }
 
+    /// Events handled so far (the scale experiments' cost denominator).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// The report accumulated so far (final numbers come from
     /// [`run`](Self::run); this view serves co-simulation drivers).
     pub fn stats(&self) -> &SimReport {
@@ -631,6 +706,78 @@ impl Simulator {
     /// The attacker node indices this seed selected.
     pub fn attacker_nodes(&self) -> &[usize] {
         &self.attackers
+    }
+
+    /// The fabric this simulator runs on.
+    pub fn topology(&self) -> &dyn Topology {
+        &*self.topo
+    }
+
+    /// High-water mark of in-flight packets — a deterministic peak-memory
+    /// proxy (multiply by `size_of::<SimPacket>()` for bytes; same number
+    /// on every same-seed run, unlike RSS).
+    pub fn peak_packets(&self) -> usize {
+        self.packets.capacity()
+    }
+
+    /// Post a finite `bytes`-sized transfer from `src` to `dst`: the flow
+    /// is segmented into MTU packets on the best-effort VL, stamped with
+    /// `src`'s partition key, and queued immediately — contending with
+    /// everything else for credits, arbitration and link capacity. Returns
+    /// the flow's index into [`flows`](Self::flows). The flow completes
+    /// (its record gains `completed_at`) when the last packet is delivered
+    /// at `dst`'s HCA; cross-partition flows never complete (the receive
+    /// P_Key check blocks them), so scale experiments run one partition.
+    pub fn post_flow(&mut self, src: usize, dst: usize, bytes: u64) -> usize {
+        assert!(src < self.n_nodes && dst < self.n_nodes && src != dst);
+        let flow = self.flows.len() as u32;
+        let mtu = self.cfg.mtu_bytes as u64;
+        let npkts = bytes.div_ceil(mtu).max(1) as usize;
+        let pkey = PKey(0x8000 | (self.node_partition[src] as u16 + 1));
+        let mut left = bytes;
+        for _ in 0..npkts {
+            let size = left.min(mtu).max(1) as usize;
+            left = left.saturating_sub(mtu);
+            self.next_packet_id += 1;
+            self.stats.generated += 1;
+            let mut packet = SimPacket {
+                id: self.next_packet_id,
+                src,
+                dst,
+                class: TrafficClass::BestEffort,
+                pkey,
+                vl: TrafficClass::BestEffort.vl(),
+                bytes: size,
+                gen_time: self.now,
+                inject_time: 0,
+                trap: None,
+                icrc: 0,
+                corrupted: false,
+                wire: None,
+                flow: Some(flow),
+            };
+            if self.faults.is_some() {
+                packet.icrc = wire_icrc(&mut self.wire_scratch, &packet);
+            }
+            let vl = packet.vl as usize;
+            let pref = self.packets.insert(packet);
+            self.hcas[src].send_q[vl].push_back((pref, self.now));
+        }
+        self.schedule_inject(src, self.now);
+        self.flows.push(FlowRecord {
+            src,
+            dst,
+            bytes,
+            posted_at: self.now,
+            completed_at: None,
+            remaining: npkts,
+        });
+        flow as usize
+    }
+
+    /// Flow records in posting order (see [`post_flow`](Self::post_flow)).
+    pub fn flows(&self) -> &[FlowRecord] {
+        &self.flows
     }
 
     fn handle(&mut self, ev: Event) {
@@ -724,7 +871,7 @@ impl Simulator {
                 }
                 match self.cfg.attack_keys {
                     AttackKeys::RandomInvalid => {
-                        let n = self.topo.num_switches();
+                        let n = self.n_nodes;
                         let mut dst = self.rng.gen_range(0..n);
                         if dst == node {
                             dst = (dst + 1) % n;
@@ -798,6 +945,7 @@ impl Simulator {
             icrc: 0,
             corrupted: false,
             wire: None,
+            flow: None,
         };
         // Emission-time ICRC — only consulted when the fault layer can
         // corrupt packets in transit, so fault-free runs skip it.
@@ -848,6 +996,7 @@ impl Simulator {
             icrc: 0,
             corrupted: false,
             wire: None,
+            flow: None,
         };
         if self.faults.is_some() {
             packet.icrc = wire_icrc(&mut self.wire_scratch, &packet);
@@ -924,11 +1073,12 @@ impl Simulator {
                 extra_delay_ps,
             } => {
                 self.packets.get_mut(pref).corrupted |= corrupt;
+                let (att_sw, att_port) = self.attach[node];
                 self.queue.push(
                     arrival + extra_delay_ps,
                     Event::SwitchArrive {
-                        switch: node,
-                        port: PORT_HOST,
+                        switch: att_sw,
+                        port: att_port,
                         packet: pref,
                     },
                 );
@@ -945,7 +1095,7 @@ impl Simulator {
             let packet = self.packets.get(pref);
             (packet.vl, packet.src, packet.dst, packet.pkey, packet.class)
         };
-        let is_edge = port == PORT_HOST;
+        let is_edge = self.is_host_port[switch * self.radix + port];
         // Management packets cross partition enforcement unchecked — "a
         // management packet can reach SM regardless of its partition" (§7),
         // which is precisely what makes the SM-flood attack possible.
@@ -972,7 +1122,7 @@ impl Simulator {
             return;
         }
         let vl = pvl as usize;
-        let out_port = self.topo.route(switch, dst);
+        let out_port = self.topo.route_flow(switch, dst, flow_hash(src, dst));
         self.switches[switch].in_q[port][vl].push_back(QueuedPacket {
             packet: pref,
             lookup_cycles: check.lookup_cycles,
@@ -996,9 +1146,16 @@ impl Simulator {
             return;
         }
         let peer = self.topo.peer(switch, out_port);
+        // Crossing the topology's dateline escalates data packets to the
+        // next VL — the per-(port, VL) buffers double as the virtual
+        // channels that break credit-deadlock cycles (dragonfly global
+        // links; a no-op on mesh and fat-tree). VL15 management never
+        // escalates.
+        let dateline = self.is_dateline[switch * self.radix + out_port];
+        let out_vl = move |vl: usize| if dateline && vl < 8 { vl + 1 } else { vl };
         // Arbitrate: find the best candidate per VL (round-robin over input
         // ports within a VL), then apply the VL arbitration policy.
-        let nports = self.cfg.ports_per_switch;
+        let nports = self.radix;
         let mut best_high: Option<(usize, usize)> = None; // highest VL > 0
         let mut best_low: Option<(usize, usize)> = None; // VL 0
         for vl in (0..self.cfg.num_vls).rev() {
@@ -1011,7 +1168,7 @@ impl Simulator {
             // Credit check applies to switch-to-switch hops; HCA receive
             // buffers are modeled as ample (the HCA drains at line rate).
             if let Peer::Switch { .. } = peer {
-                if self.switches[switch].out_credits[out_port][vl] == 0 {
+                if self.switches[switch].out_credits[out_port][out_vl(vl)] == 0 {
                     continue;
                 }
             }
@@ -1019,7 +1176,7 @@ impl Simulator {
             for k in 0..nports {
                 let in_port = (start + k) % nports;
                 if let Some(head) = self.switches[switch].in_q[in_port][vl].front() {
-                    if self.topo.route(switch, self.packets.get(head.packet).dst) == out_port {
+                    if self.route_of(switch, head.packet) == out_port {
                         if vl > 0 {
                             best_high = Some((in_port, vl));
                         } else {
@@ -1069,7 +1226,11 @@ impl Simulator {
                 switch: next,
                 port: next_port,
             } => {
-                self.switches[switch].out_credits[out_port][vl] -= 1;
+                // The downstream buffer class is the (possibly escalated)
+                // VL: credits, the arrival queue, and the credit-return on
+                // a wire drop must all agree on it.
+                let fvl = out_vl(vl);
+                self.switches[switch].out_credits[out_port][fvl] -= 1;
                 let arrival = tx_end + self.cfg.propagation_delay;
                 match self.link_fault(self.switch_link(switch, out_port)) {
                     FaultOutcome::Drop => {
@@ -1083,7 +1244,7 @@ impl Simulator {
                             Event::SwitchCredit {
                                 switch,
                                 port: out_port,
-                                vl: vl as u8,
+                                vl: fvl as u8,
                             },
                         );
                     }
@@ -1091,7 +1252,9 @@ impl Simulator {
                         corrupt,
                         extra_delay_ps,
                     } => {
-                        self.packets.get_mut(pref).corrupted |= corrupt;
+                        let packet = self.packets.get_mut(pref);
+                        packet.corrupted |= corrupt;
+                        packet.vl = fvl as u8;
                         self.queue.push(
                             arrival + extra_delay_ps,
                             Event::SwitchArrive {
@@ -1132,7 +1295,7 @@ impl Simulator {
         // departed head would wait for an unrelated arrival (HOL stall).
         let next_out = self.switches[switch].in_q[in_port][vl]
             .front()
-            .map(|next| self.topo.route(switch, self.packets.get(next.packet).dst));
+            .map(|next| self.route_of(switch, next.packet));
         if let Some(next_out) = next_out {
             if next_out != out_port {
                 self.schedule_forward(switch, next_out, self.now);
@@ -1260,6 +1423,13 @@ impl Simulator {
             // legitimate-traffic statistics.
             self.stats.attack.delivered += 1;
             return;
+        }
+        if let Some(flow) = packet.flow {
+            let rec = &mut self.flows[flow as usize];
+            rec.remaining -= 1;
+            if rec.remaining == 0 {
+                rec.completed_at = Some(delivered_at);
+            }
         }
         if packet.gen_time >= self.cfg.warmup {
             let queuing = packet.inject_time - packet.gen_time;
@@ -1713,6 +1883,121 @@ mod tests {
         assert_eq!(r.attack.delivered, 0);
         assert_eq!(r.attack.dropped, 0);
         assert_eq!(r.attack_active_fraction, 0.0);
+    }
+
+    #[test]
+    fn fat_tree_fabric_delivers_traffic() {
+        let mut cfg = quick_cfg();
+        cfg.topology = crate::config::TopoSpec::FatTree { k: 4 };
+        let report = Simulator::new(cfg).run();
+        assert!(report.realtime.delivered > 100);
+        assert!(report.best_effort.delivered > 100);
+        assert_eq!(report.filter_drops, 0);
+        assert_eq!(report.hca_blocked, 0);
+    }
+
+    #[test]
+    fn sif_engages_on_a_dragonfly() {
+        // The trap → SM → program-filter loop must work when the violator's
+        // edge switch is a dragonfly router, not a mesh switch.
+        let mut cfg = quick_cfg();
+        cfg.topology = crate::config::TopoSpec::Dragonfly {
+            a: 2,
+            p: 2,
+            h: 1,
+            valiant: false,
+        };
+        cfg.num_attackers = 2;
+        cfg.attack_probability = 1.0;
+        cfg.enforcement = EnforcementKind::Sif;
+        let report = Simulator::new(cfg).run();
+        assert!(report.traps > 0, "victims must trap");
+        assert!(
+            report.filter_drops > 0,
+            "SIF drops at the attacker's router"
+        );
+        assert!(report.filter_drops > report.hca_blocked);
+    }
+
+    #[test]
+    fn non_mesh_fabrics_are_deterministic() {
+        for topology in [
+            crate::config::TopoSpec::FatTree { k: 4 },
+            crate::config::TopoSpec::Dragonfly {
+                a: 2,
+                p: 2,
+                h: 1,
+                valiant: true,
+            },
+        ] {
+            let run = || {
+                let mut cfg = quick_cfg();
+                cfg.topology = topology;
+                Simulator::new(cfg).run()
+            };
+            let (a, b) = (run(), run());
+            assert_eq!(a.generated, b.generated);
+            assert_eq!(a.realtime.delivered, b.realtime.delivered);
+            assert!((a.legit_queuing_mean() - b.legit_queuing_mean()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flows_complete_on_every_topology() {
+        for topology in [
+            crate::config::TopoSpec::Mesh,
+            crate::config::TopoSpec::FatTree { k: 4 },
+            crate::config::TopoSpec::Dragonfly {
+                a: 2,
+                p: 2,
+                h: 1,
+                valiant: false,
+            },
+        ] {
+            let mut cfg = quick_cfg();
+            cfg.topology = topology;
+            cfg.num_partitions = 1; // flows must pass the receive P_Key check
+            cfg.traffic.realtime_load = 0.0;
+            cfg.traffic.best_effort_load = 0.0;
+            let mut sim = Simulator::new(cfg);
+            let n = sim.topology().num_nodes();
+            for src in 0..n {
+                sim.post_flow(src, (src + 1) % n, 10 * 1024);
+            }
+            assert!(sim.peak_packets() > 0);
+            // Drain the event queue in place so the flow records stay
+            // readable afterwards.
+            sim.run_hosts_until(SimTime::MAX);
+            assert!(
+                sim.flows().iter().all(|f| f.completed_at.is_some()),
+                "every flow must complete on {topology:?}"
+            );
+            assert!(sim
+                .flows()
+                .iter()
+                .all(|f| f.completed_at.unwrap() > f.posted_at));
+        }
+    }
+
+    #[test]
+    fn flow_completion_times_are_recorded_and_ordered() {
+        let mut cfg = quick_cfg();
+        cfg.num_partitions = 1;
+        cfg.traffic.realtime_load = 0.0;
+        cfg.traffic.best_effort_load = 0.0;
+        let mut sim = Simulator::new(cfg);
+        let small = sim.post_flow(0, 5, 2 * 1024);
+        let large = sim.post_flow(3, 9, 64 * 1024);
+        sim.run_hosts_until(SimTime::MAX);
+        let flows = sim.flows();
+        let small_done = flows[small].completed_at.expect("small flow completes");
+        let large_done = flows[large].completed_at.expect("large flow completes");
+        assert!(small_done > 0);
+        // 64 KiB takes longer than 2 KiB from the same start time.
+        assert!(large_done > small_done);
+        // 32 MTU packets were in flight at peak ≥ the largest single queue.
+        assert!(sim.peak_packets() >= 2);
+        assert_eq!(sim.flows().len(), 2);
     }
 
     /// The satellite round-trip: a real report survives JSON text and back

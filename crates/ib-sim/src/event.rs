@@ -87,6 +87,9 @@ pub struct SimPacket {
     /// back to the host instead of running the abstract receive path, so
     /// an external transport's own CRC/MAC machinery judges them.
     pub wire: Option<Vec<u8>>,
+    /// Index of the [`crate::Simulator::post_flow`] transfer this packet
+    /// belongs to; the flow completes when its last packet is delivered.
+    pub flow: Option<u32>,
 }
 
 /// Events the engine processes. Packet-carrying variants hold an arena

@@ -30,8 +30,10 @@
 
 pub mod arena;
 pub mod config;
+pub mod dragonfly;
 pub mod engine;
 pub mod event;
+pub mod fattree;
 pub mod fault;
 pub mod metrics;
 pub mod time;
@@ -39,10 +41,12 @@ pub mod topology;
 pub mod traffic;
 
 pub use arena::{PacketArena, PacketRef};
-pub use config::{ArbitrationPolicy, AttackKeys, AuthMode, SimConfig, TrafficConfig};
+pub use config::{ArbitrationPolicy, AttackKeys, AuthMode, SimConfig, TopoSpec, TrafficConfig};
+pub use dragonfly::Dragonfly;
 pub use engine::{HostDelivery, SimReport, Simulator};
+pub use fattree::FatTree;
 pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
 pub use metrics::{ClassStats, OnlineStats};
 pub use time::{SimTime, BYTE_TIME_PS, NS, PS, US};
-pub use topology::MeshTopology;
+pub use topology::{flow_hash, MeshTopology, Peer, Topology};
 pub use traffic::TrafficClass;
