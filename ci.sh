@@ -83,6 +83,35 @@ cargo run -q --release --offline -p bench --bin fig_scale -- --smoke
 diff BENCH_fig_scale.first.json BENCH_fig_scale.json
 rm BENCH_fig_scale.first.json
 
+echo "== parallel engine vs serial (fig1 smoke at IB_THREADS=1 and 4) =="
+# The sharded-engine gate: the same figure computed by the serial oracle
+# and by the windowed parallel engine (IB_ENGINE=par routes run_many
+# through ib_sim::ParSimulator) must be byte-identical at every thread
+# count — any divergence in cross-domain merge order, RNG decomposition
+# or stats merging shows up here.
+cargo run -q --release --offline -p bench --bin fig1 -- --smoke
+mv BENCH_fig1.json BENCH_fig1.serial.json
+IB_ENGINE=par IB_THREADS=1 cargo run -q --release --offline -p bench --bin fig1 -- --smoke
+diff BENCH_fig1.serial.json BENCH_fig1.json
+IB_ENGINE=par IB_THREADS=4 cargo run -q --release --offline -p bench --bin fig1 -- --smoke
+diff BENCH_fig1.serial.json BENCH_fig1.json
+rm BENCH_fig1.serial.json
+
+echo "== parallel engine vs serial (fig_scale smoke at IB_THREADS=1 and 4) =="
+# fig_scale runs every packet arm through both engines and asserts
+# identical completions, event counts and arena high-waters in-binary;
+# across the two IB_THREADS runs the only JSON deltas allowed are the
+# recorded thread axis itself, which the filter strips.
+IB_THREADS=1 cargo run -q --release --offline -p bench --bin fig_scale -- --smoke
+mv BENCH_fig_scale.json BENCH_fig_scale.t1.json
+IB_THREADS=4 cargo run -q --release --offline -p bench --bin fig_scale -- --smoke
+strip_thread_axis() {
+  sed -E 's/"threads":\[?[0-9]+\]?,//g; s/"ib_threads_env":("[^"]*"|null),//g' "$1"
+}
+diff <(strip_thread_axis BENCH_fig_scale.t1.json) \
+     <(strip_thread_axis BENCH_fig_scale.json)
+rm BENCH_fig_scale.t1.json
+
 echo "== sim_engine smoke (scheduler equivalence + calendar-vs-heap gate) =="
 # The binary's own asserts gate (a) all three scheduler arms popping the
 # identical event stream and (b) the calendar queue keeping pace with the

@@ -116,12 +116,15 @@ fn main() {
             total(nf)
         );
     }
-    // DPT never beats IF (per-hop lookups cost strictly more).
+    // DPT never beats IF (per-hop lookups cost strictly more); same slim
+    // relative tolerance as above — at smoke-mode seed counts the
+    // placement stddev dwarfs the lookup margin.
     for &load in &[0.4, 0.5, 0.6, 0.7] {
         let dpt = at(load, "DPT");
         let ifr = at(load, "IF");
+        let tol = 1.0 + 0.02 * (dpt.queuing_us + dpt.network_us);
         assert!(
-            dpt.queuing_us + dpt.network_us + 1e-9 >= ifr.queuing_us + ifr.network_us - 1.0,
+            dpt.queuing_us + dpt.network_us + tol >= ifr.queuing_us + ifr.network_us,
             "IF should be at or below DPT at {load}"
         );
     }

@@ -39,6 +39,7 @@ use ib_runtime::{Json, ToJson};
 use ib_sim::config::SimConfig;
 use ib_sim::engine::Simulator;
 use ib_sim::event::{EventQueue, HeapQueue, BUCKET_WIDTH_PS, HORIZON_PS};
+use ib_sim::parallel::ParSimulator;
 use ib_sim::time::{SimTime, MS, US};
 
 /// Scheduler arms, baseline-last display order (calendar is the product).
@@ -269,23 +270,55 @@ fn main() {
     }
 
     // ---- engine timing: whole simulations, events per wall-second ----
+    // `threads == 0` is the serial driver; non-zero cells run the same
+    // config through the sharded windowed engine (`ParSimulator`) and
+    // are asserted report-identical to their serial counterpart before
+    // their throughput is recorded.
     let cells = [
-        ("baseline", EnforcementKind::NoFiltering, 0usize),
-        ("attack-nofilter", EnforcementKind::NoFiltering, 4),
-        ("attack-dpt", EnforcementKind::Dpt, 4),
-        ("attack-sif", EnforcementKind::Sif, 4),
+        ("baseline", EnforcementKind::NoFiltering, 0usize, 0usize),
+        ("attack-nofilter", EnforcementKind::NoFiltering, 4, 0),
+        ("attack-dpt", EnforcementKind::Dpt, 4, 0),
+        ("attack-sif", EnforcementKind::Sif, 4, 0),
+        ("baseline-par4", EnforcementKind::NoFiltering, 0, 4),
+        ("attack-sif-par4", EnforcementKind::Sif, 4, 4),
     ];
     let mut engine_events: Vec<u64> = Vec::new();
-    for &(label, kind, attackers) in &cells {
+    let mut serial_reports: Vec<(EnforcementKind, usize, String)> = Vec::new();
+    for &(label, kind, attackers, threads) in &cells {
         let mut events = 0u64;
         let mut ns: Vec<f64> = Vec::new();
+        let mut report_json = String::new();
         for _ in 0..engine_reps {
-            let sim = Simulator::new(engine_cfg(kind, attackers, engine_ps));
-            let start = Instant::now();
-            let (report, n) = sim.run_counted();
-            ns.push(start.elapsed().as_nanos() as f64);
-            std::hint::black_box(report);
-            events = n; // identical every rep (determinism)
+            let cfg = engine_cfg(kind, attackers, engine_ps);
+            if threads == 0 {
+                let sim = Simulator::new(cfg);
+                let start = Instant::now();
+                let (report, n) = sim.run_counted();
+                ns.push(start.elapsed().as_nanos() as f64);
+                report_json = report.to_json().to_string();
+                std::hint::black_box(report);
+                events = n; // identical every rep (determinism)
+            } else {
+                let mut sim = ParSimulator::with_threads(cfg, threads);
+                let start = Instant::now();
+                let report = sim.run();
+                ns.push(start.elapsed().as_nanos() as f64);
+                report_json = report.to_json().to_string();
+                std::hint::black_box(report);
+                events = sim.events_processed();
+            }
+        }
+        if threads == 0 {
+            serial_reports.push((kind, attackers, report_json));
+        } else {
+            let (_, _, serial) = serial_reports
+                .iter()
+                .find(|(k, a, _)| *k == kind && *a == attackers)
+                .expect("parallel cells follow their serial counterpart");
+            assert_eq!(
+                serial, &report_json,
+                "{label}: sharded engine report diverged from serial"
+            );
         }
         engine_events.push(events);
         harness
@@ -330,7 +363,11 @@ fn main() {
                 ("scheduler_ops", total_ops.to_json()),
                 (
                     "engine_cells",
-                    Json::arr(cells.iter().map(|&(l, _, _)| l.to_json())),
+                    Json::arr(cells.iter().map(|&(l, _, _, _)| l.to_json())),
+                ),
+                (
+                    "engine_threads",
+                    Json::arr(cells.iter().map(|&(_, _, _, t)| (t as u64).to_json())),
                 ),
                 (
                     "engine_events",

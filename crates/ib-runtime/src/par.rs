@@ -1,9 +1,208 @@
-//! Scoped parallel sweeps over `std::thread::scope`.
+//! Scoped parallel sweeps and a persistent worker pool.
 //!
 //! Simulator instances are independent and deterministic, so sweeps are
 //! embarrassingly parallel (the HPC guides' "parallelize across
 //! independent work items" idiom). These helpers replace the crossbeam
 //! scoped-thread dependency with the standard library's scoped threads.
+//!
+//! [`WorkerPool`] spawns its threads once and runs many broadcast jobs,
+//! so callers issuing frequent short parallel rounds (the parallel packet
+//! engine's lookahead windows, repeated [`scope_map_dynamic`] sweeps)
+//! never pay a per-call spawn. [`scope_map_dynamic`] transparently runs
+//! on a process-wide pool when one is available and falls back to scoped
+//! spawning otherwise, so its semantics (input order preserved, panics
+//! propagate) are unchanged.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A persistent pool of parked OS threads that runs broadcast jobs: every
+/// call to [`broadcast`](Self::broadcast) wakes all workers, runs the
+/// closure once per worker index, and returns when the last worker
+/// finishes. Spawning happens once in [`new`](Self::new), so a caller
+/// issuing thousands of short rounds (conservative-lookahead windows, one
+/// sweep cell per round) pays only a wake/park per round, not a spawn.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    /// Serializes broadcasts: a second caller waits (or bounces off
+    /// [`try_broadcast`](Self::try_broadcast)) instead of corrupting the
+    /// in-flight round's job slot.
+    gate: Mutex<()>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    start: Condvar,
+    done: Condvar,
+}
+
+struct PoolState {
+    job: Option<JobPtr>,
+    round: u64,
+    remaining: usize,
+    panicked: usize,
+    shutdown: bool,
+}
+
+/// A lifetime-erased pointer to the current broadcast's closure.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: workers dereference the pointer only between job publication and
+// the final completion notification, and `broadcast` blocks the calling
+// thread (which holds the closure) for that entire interval, so the
+// referent outlives every use; `Sync` on the referent makes the shared
+// cross-thread calls sound.
+unsafe impl Send for JobPtr {}
+
+thread_local! {
+    /// True on pool worker threads: nested sweeps detect this and fall
+    /// back to scoped spawning instead of deadlocking on the pool gate.
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState {
+                job: None,
+                round: 0,
+                remaining: 0,
+                panicked: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|idx| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_main(&inner, idx))
+            })
+            .collect();
+        WorkerPool {
+            inner,
+            gate: Mutex::new(()),
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `f(idx)` once on every worker (`idx` in `0..threads()`),
+    /// blocking until all complete. Concurrent broadcasts from other
+    /// threads queue behind this one. Panics if any worker's closure
+    /// panicked.
+    pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        let _gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+        self.run_round(f);
+    }
+
+    /// [`broadcast`](Self::broadcast), but returns `false` without running
+    /// anything if another broadcast is already in flight — the
+    /// contention-free path [`scope_map_dynamic`] uses to decide between
+    /// the pool and spawning.
+    pub fn try_broadcast(&self, f: &(dyn Fn(usize) + Sync)) -> bool {
+        // A propagated worker panic poisons the gate; the pool itself is
+        // still healthy, so recover the guard rather than wedging every
+        // future caller onto the spawn path.
+        let _gate = match self.gate.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return false,
+        };
+        self.run_round(f);
+        true
+    }
+
+    fn run_round(&self, f: &(dyn Fn(usize) + Sync)) {
+        // SAFETY (lifetime erasure): see `JobPtr` — we block below until
+        // every worker has finished with the pointer.
+        let job = JobPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+        });
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.job = Some(job);
+        st.round += 1;
+        st.remaining = self.handles.len();
+        st.panicked = 0;
+        self.inner.start.notify_all();
+        while st.remaining > 0 {
+            st = self.inner.done.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        assert!(
+            panicked == 0,
+            "WorkerPool::broadcast: {panicked} worker(s) panicked"
+        );
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+            self.inner.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_main(inner: &PoolInner, idx: usize) {
+    IN_POOL_WORKER.with(|f| f.set(true));
+    let mut seen = 0u64;
+    let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if st.shutdown {
+            return;
+        }
+        if st.round > seen {
+            if let Some(job) = st.job {
+                seen = st.round;
+                drop(st);
+                // SAFETY: see `JobPtr` — the broadcaster keeps the closure
+                // alive until we report completion below.
+                let run = || (unsafe { &*job.0 })(idx);
+                let outcome = catch_unwind(AssertUnwindSafe(run));
+                st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+                if outcome.is_err() {
+                    st.panicked += 1;
+                }
+                st.remaining -= 1;
+                if st.remaining == 0 {
+                    inner.done.notify_all();
+                }
+                continue;
+            }
+        }
+        st = inner.start.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// The process-wide pool [`scope_map_dynamic`] (and the parallel packet
+/// engine) dispatches to, created on first use and sized to the machine
+/// (at least the first call's worker count). Larger later requests fall
+/// back to scoped spawning.
+pub fn global_pool(workers: usize) -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        WorkerPool::new(avail.max(workers))
+    })
+}
 
 /// Run `f` over every item on its own scoped thread, returning results in
 /// input order. Suited to coarse work items (a full simulation run per
@@ -78,6 +277,12 @@ where
 /// and thus every order-sensitive fold over the results — is bit-identical
 /// to the serial map regardless of which worker ran which item.
 ///
+/// Runs on the process-wide [`WorkerPool`] when it is free and large
+/// enough, eliminating the per-call spawn overhead the `sim_engine` bench
+/// measures; otherwise (pool busy, request larger than the pool, or
+/// called from inside a pool worker) it spawns scoped threads exactly as
+/// before. Both paths produce identical results.
+///
 /// Panics propagate: if any worker panics, the panic resurfaces here.
 pub fn scope_map_dynamic<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
@@ -85,8 +290,28 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    dynamic_over(items, threads, f, true)
+}
+
+/// The pre-pool implementation of [`scope_map_dynamic`]: always spawns
+/// scoped threads for the call. Kept callable so the `sim_engine` bench
+/// can measure the pool's dispatch advantage against it.
+pub fn scope_map_dynamic_spawning<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    dynamic_over(items, threads, f, false)
+}
+
+fn dynamic_over<T, R, F>(items: Vec<T>, threads: usize, f: F, use_pool: bool) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
 
     let n = items.len();
     let workers = threads.max(1).min(n.max(1));
@@ -99,23 +324,38 @@ where
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let (slots, results, cursor, f) = (&slots, &results, &cursor, &f);
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("cursor hands each index to exactly one worker");
-                *results[i].lock().unwrap() = Some(f(item));
-            });
+    let worker_loop = |_w: usize| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
         }
-    });
+        let item = slots[i]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("cursor hands each index to exactly one worker");
+        *results[i].lock().unwrap() = Some(f(item));
+    };
+    // Nested calls from a pool worker must not touch the pool: the outer
+    // broadcast's gate is held until this worker returns, so waiting on it
+    // here would deadlock.
+    let pooled = use_pool && !IN_POOL_WORKER.with(|f| f.get()) && {
+        let pool = global_pool(workers);
+        pool.threads() >= workers
+            && pool.try_broadcast(&|w| {
+                if w < workers {
+                    worker_loop(w);
+                }
+            })
+    };
+    if !pooled {
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let worker_loop = &worker_loop;
+                scope.spawn(move || worker_loop(w));
+            }
+        });
+    }
     results
         .into_iter()
         .map(|m| {
@@ -235,6 +475,61 @@ mod tests {
             x + 1
         });
         assert_eq!(out, (1..=32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn pool_runs_many_rounds_without_respawning() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.broadcast(&|_w| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 800);
+    }
+
+    #[test]
+    fn pool_propagates_worker_panics_and_survives() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = WorkerPool::new(2);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(&|w| {
+                if w == 0 {
+                    panic!("worker goes down");
+                }
+            });
+        }));
+        assert!(boom.is_err(), "worker panic must resurface at the caller");
+        // The pool keeps working after a propagated panic.
+        let hits = AtomicUsize::new(0);
+        assert!(pool.try_broadcast(&|_w| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn nested_dynamic_inside_pool_jobs_completes() {
+        // The inner call detects it is on a pool worker and spawns scoped
+        // threads instead of deadlocking on the pool gate.
+        let items: Vec<u64> = (0..8).collect();
+        let out = scope_map_dynamic(items, 4, |x| {
+            scope_map_dynamic(vec![x, x + 1], 2, |y| y * 2)
+                .into_iter()
+                .sum::<u64>()
+        });
+        assert_eq!(out, (0..8).map(|x| 4 * x + 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn spawning_variant_matches_pooled() {
+        let items: Vec<u64> = (0..64).collect();
+        let pooled = scope_map_dynamic(items.clone(), 4, |x| x * 7 + 1);
+        let spawned = scope_map_dynamic_spawning(items, 4, |x| x * 7 + 1);
+        assert_eq!(pooled, spawned);
     }
 
     #[test]

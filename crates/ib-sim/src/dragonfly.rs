@@ -180,6 +180,15 @@ impl Topology for Dragonfly {
             4
         }
     }
+
+    /// One domain per group: all `a·(a−1)` local links stay internal;
+    /// only the global (dateline) links cross domains.
+    fn partition(&self, max_domains: usize) -> Vec<usize> {
+        let cap = max_domains.max(1);
+        (0..self.num_switches())
+            .map(|s| (s / self.a) % cap)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +228,33 @@ mod tests {
             for (src, dst) in [(0, 1055), (513, 2), (1000, 999), (7, 7)] {
                 for h in [0u64, 3, flow_hash(src, dst)] {
                     conformance::route_is_sound(&t, src, dst, h);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_per_group() {
+        use crate::topology::Partition;
+        let t = Dragonfly::new(4, 2, 2, false);
+        let p = Partition::of(&t, usize::MAX);
+        assert_eq!(p.num_domains, t.groups());
+        // Routers of one group share a domain; the next group differs.
+        assert_eq!(p.domain_of[0], p.domain_of[3]);
+        assert_ne!(p.domain_of[3], p.domain_of[4]);
+        let (internal, cross) = p.link_census(&t);
+        // All local links internal (a·(a−1) directed per group); every
+        // global link crosses (h directed per router).
+        assert_eq!(internal, t.groups() * 4 * 3);
+        assert_eq!(cross, t.num_switches() * 2);
+        // Cross-domain links are exactly the dateline links.
+        for s in 0..t.num_switches() {
+            for port in 0..t.radix() {
+                if let Peer::Switch { switch, .. } = t.peer(s, port) {
+                    assert_eq!(
+                        p.domain_of[s] != p.domain_of[switch],
+                        t.is_dateline(s, port)
+                    );
                 }
             }
         }

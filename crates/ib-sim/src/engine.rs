@@ -1,8 +1,27 @@
 //! The discrete-event simulation engine.
 //!
-//! One [`Simulator`] instance is single-threaded and deterministic for a
-//! given [`SimConfig`] (including the seed); parameter sweeps parallelize
-//! by running independent instances (see the bench crate).
+//! The simulation state is sharded into **event domains** — one calendar
+//! queue's worth of switches and HCAs per topology partition (fat-tree
+//! pod, dragonfly group, mesh 2×2 tile; see [`Topology::partition`]).
+//! Handlers ([`Ctx`]) mutate exactly one [`Domain`] and stage every
+//! scheduled event into `Domain::out`; a *driver* routes those messages.
+//! Two drivers share the core:
+//!
+//! * [`Simulator`] — the serial oracle: one merged event queue, events
+//!   popped in global `(time, seq)` key order.
+//! * [`crate::ParSimulator`] — conservative parallel execution: one queue
+//!   per domain, synchronized in lookahead windows `[T, T+W)` where `W`
+//!   is the minimum cross-domain latency (propagation delay, trap
+//!   latency, filter-program latency) and `T` is the global minimum
+//!   pending-event time. Any event a domain emits at `now` lands at
+//!   `≥ now + W` when it crosses a domain boundary, so processing each
+//!   window independently per domain is exact, not approximate.
+//!
+//! Determinism is engine-independent: every event carries an *intrinsic*
+//! key `(time, origin_entity_id << 32 | per-origin seq)` and every RNG
+//! draw comes from a per-node stream, so the two drivers produce
+//! bit-identical reports at any thread count — the contract the
+//! `ci.sh` byte-diff gates and `tests/parallel_equivalence.rs` enforce.
 //!
 //! ## Model summary
 //!
@@ -24,32 +43,43 @@
 //!   at both end nodes; QP-level mode additionally holds the *first* packet
 //!   of each (src, dst) pair for `key_exchange_rtt` (the Q_Key/secret
 //!   request round trip of §4.3).
+//! * **Attack schedule** — precomputed at construction into half-open
+//!   `[start, end)` windows from a dedicated seed stream; attacker
+//!   `Generate` chains start at each window's opening and die at its
+//!   close. No global toggle event exists, so domains never need to
+//!   agree on shared mutable attack state.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use ib_crypto::Crc32;
 use ib_runtime::{Json, Rng, ToJson};
 
 use ib_mgmt::enforcement::{
-    DptEnforcer, EnforcementKind, FilterDecision, IfEnforcer, NoEnforcer, PartitionEnforcer,
-    SifEnforcer,
+    DptEnforcer, EnforcementKind, FilterCheck, FilterDecision, IfEnforcer, NoEnforcer,
+    PartitionEnforcer, SifEnforcer,
 };
 use ib_mgmt::partition::{PartitionConfig, PartitionTable};
 use ib_mgmt::sm::SubnetManager;
-use ib_mgmt::trap::TrapThrottle;
+use ib_mgmt::trap::{Trap, TrapThrottle};
 use ib_packet::types::PKey;
 
 use crate::arena::{PacketArena, PacketRef};
-use crate::config::{ArbitrationPolicy, AttackKeys, AuthMode, SimConfig};
-use crate::event::{Event, EventQueue, SimPacket};
+use crate::config::{
+    ArbitrationPolicy, AttackKeys, AttackSchedule, AuthMode, SimConfig, TrapTransport,
+};
+use crate::event::{Event, EventKey, EventQueue, SimPacket};
 use crate::fault::{FaultInjector, FaultOutcome};
 use crate::metrics::ClassStats;
 use crate::time::{tx_time_ps, SimTime};
-use crate::topology::{flow_hash, Peer, Topology};
+use crate::topology::{flow_hash, Partition, Peer, Topology};
 use crate::traffic::{exp_gap, TrafficClass};
 
+/// Seed-stream index for the attack-window schedule. Node streams use
+/// indices `0..n` and `n ≤ 0xFFFE` (16-bit LIDs), so this never collides.
+const ATTACK_WINDOW_STREAM: u64 = 0x0002_0000;
+
 /// Per-switch runtime state.
-struct SwitchState {
+pub(crate) struct SwitchState {
     /// Input buffers: `in_q[port][vl]`.
     in_q: Vec<Vec<VecDeque<QueuedPacket>>>,
     /// When each output port finishes its current transmission.
@@ -63,8 +93,11 @@ struct SwitchState {
     /// Consecutive high-priority grants per output port (weighted
     /// arbitration state).
     high_grants: Vec<u32>,
-    /// The partition-enforcement engine this switch runs.
-    enforcement: Box<dyn PartitionEnforcer>,
+    /// The partition-enforcement engine this switch runs (`Send` so whole
+    /// domains can migrate onto worker threads).
+    enforcement: Box<dyn PartitionEnforcer + Send>,
+    /// Per-origin event sequence counter (intrinsic-key tie-break).
+    oseq: u32,
 }
 
 /// A packet in an input buffer plus the lookup cycles its admission cost
@@ -75,7 +108,7 @@ struct QueuedPacket {
 }
 
 /// Per-HCA runtime state.
-struct HcaState {
+pub(crate) struct HcaState {
     /// Per-VL send queues (paired with each packet's earliest-ready time,
     /// which models the QP-level key-exchange hold).
     send_q: Vec<VecDeque<(PacketRef, SimTime)>>,
@@ -90,6 +123,15 @@ struct HcaState {
     keyed_peers: Vec<bool>,
     /// Realtime generations skipped due to back-off.
     backoff_skips: u64,
+    /// This node's private RNG stream (`seed.stream(node)`): jitter,
+    /// inter-arrival gaps, peer choice, attack targeting. Node-local
+    /// streams make every draw independent of cross-domain event order.
+    rng: Rng,
+    /// Per-origin event sequence counter (intrinsic-key tie-break).
+    oseq: u32,
+    /// Per-node packet-id counter; ids are `src << 32 | counter` so they
+    /// are globally unique without any cross-domain coordination.
+    next_pkt: u32,
 }
 
 /// Results of one simulation run.
@@ -113,7 +155,7 @@ pub struct SimReport {
     pub generated: u64,
     /// Total enforcement lookup cycles spent (Table 2 cross-check).
     pub lookup_cycles: u64,
-    /// Fraction of simulated time the attack was active.
+    /// Fraction of the configured duration the attack schedule was active.
     pub attack_active_fraction: f64,
     /// Packets the fault layer dropped on the wire.
     pub link_drops: u64,
@@ -143,6 +185,24 @@ impl SimReport {
         let mut s = self.realtime.queuing.clone();
         s.merge(&self.best_effort.queuing);
         s.stddev()
+    }
+
+    /// Merge another report's accumulators into this one (domain-order
+    /// merge of per-domain stats; `attack_active_fraction` is derived by
+    /// the caller, not summed).
+    pub fn merge(&mut self, other: &SimReport) {
+        self.realtime.merge(&other.realtime);
+        self.best_effort.merge(&other.best_effort);
+        self.attack.merge(&other.attack);
+        self.mgmt_delivered += other.mgmt_delivered;
+        self.filter_drops += other.filter_drops;
+        self.hca_blocked += other.hca_blocked;
+        self.traps += other.traps;
+        self.backoff_skips += other.backoff_skips;
+        self.generated += other.generated;
+        self.lookup_cycles += other.lookup_cycles;
+        self.link_drops += other.link_drops;
+        self.corrupt_drops += other.corrupt_drops;
     }
 
     /// JSON object form (for `BENCH_*.json`-style result files).
@@ -187,71 +247,6 @@ impl SimReport {
     }
 }
 
-/// The simulator. Construct with [`Simulator::new`], run with
-/// [`Simulator::run`].
-pub struct Simulator {
-    cfg: SimConfig,
-    topo: Box<dyn Topology>,
-    /// End-node count (`topo.num_nodes()`, cached off the vtable).
-    n_nodes: usize,
-    /// Uniform switch radix (`topo.radix()`, cached off the vtable).
-    radix: usize,
-    /// node → its `(switch, port)` attachment.
-    attach: Vec<(usize, usize)>,
-    /// Flattened `[switch * radix + port]` — true where an HCA hangs off
-    /// the port (the enforcement layer's edge/ingress distinction).
-    is_host_port: Vec<bool>,
-    /// Flattened `[switch * radix + port]` — true where the output link
-    /// crosses the topology's deadlock dateline (packets escalate to the
-    /// next VL as they cross; see [`Topology::is_dateline`]).
-    is_dateline: Vec<bool>,
-    queue: EventQueue,
-    switches: Vec<SwitchState>,
-    hcas: Vec<HcaState>,
-    sm: SubnetManager,
-    rng: Rng,
-    now: SimTime,
-    attack_active: bool,
-    attack_active_since: SimTime,
-    attack_active_total: SimTime,
-    attackers: Vec<usize>,
-    /// Per-attacker invalid P_Key(s).
-    attacker_pkey: Vec<PKey>,
-    /// partition id → member nodes.
-    partitions: Vec<Vec<usize>>,
-    /// node → partition id.
-    node_partition: Vec<usize>,
-    stats: SimReport,
-    next_packet_id: u64,
-    mtu_tx: SimTime,
-    auth_delay: SimTime,
-    /// Per-directed-link fault injectors (`None` when the fault config is
-    /// all-zero, so fault-free runs never touch these RNG streams). Index
-    /// layout: `node` for the HCA → switch uplink, then
-    /// `n + switch * ports_per_switch + port` for each switch output.
-    faults: Option<Vec<FaultInjector>>,
-    /// Reusable scratch for [`render_wire_image`]: emit and receive both
-    /// render into this one buffer, so per-hop CRC checks never allocate
-    /// after the first MTU-sized packet.
-    wire_scratch: Vec<u8>,
-    /// In-flight packet storage: queues and events carry [`PacketRef`]
-    /// indices; each packet is inserted once at emission and released
-    /// once at its terminal point (delivery or drop).
-    packets: PacketArena,
-    /// Events popped so far (the `sim_engine` bench's events/sec
-    /// numerator).
-    events_processed: u64,
-    /// Events popped past a [`run_hosts_until`](Self::run_hosts_until)
-    /// limit, stashed in scheduling order for later calls (the calendar
-    /// queue has no peek, so the limit check happens after the pop).
-    held: VecDeque<(SimTime, Event)>,
-    /// Host-injected packets that reached their destination HCA, awaiting
-    /// [`take_host_delivery`](Self::take_host_delivery).
-    host_inbox: VecDeque<HostDelivery>,
-    /// Flows posted via [`post_flow`](Self::post_flow), in posting order.
-    flows: Vec<FlowRecord>,
-}
-
 /// One finite transfer posted via [`Simulator::post_flow`]: segmented
 /// into MTU packets that ride the best-effort VL through the full
 /// packet-level machinery (credits, arbitration, enforcement). The flow
@@ -270,8 +265,6 @@ pub struct FlowRecord {
     /// Delivery time of the flow's last packet; `None` while in flight
     /// (or forever, if a fault dropped one of its packets).
     pub completed_at: Option<SimTime>,
-    /// Packets not yet delivered.
-    remaining: usize,
 }
 
 /// A host-injected packet delivered at its destination HCA: the wire
@@ -320,12 +313,248 @@ fn wire_icrc(scratch: &mut Vec<u8>, packet: &SimPacket) -> u32 {
     crc.finalize()
 }
 
-impl Simulator {
-    /// Build a simulator: lays out the configured fabric (mesh, fat-tree
-    /// or dragonfly), randomly groups nodes into partitions (§3.1), picks
-    /// attacker nodes, installs enforcement, and primes the traffic
-    /// sources.
-    pub fn new(cfg: SimConfig) -> Self {
+// --------------------------------------------------------------- sharded core
+
+/// Immutable state every domain reads: config, topology, layout tables,
+/// the partition/attacker assignment, the domain decomposition and the
+/// precomputed attack schedule. Shared by reference across worker threads.
+pub(crate) struct Shared {
+    pub(crate) cfg: SimConfig,
+    pub(crate) topo: Box<dyn Topology>,
+    pub(crate) n_nodes: usize,
+    pub(crate) n_switches: usize,
+    pub(crate) radix: usize,
+    /// node → its `(switch, port)` attachment.
+    pub(crate) attach: Vec<(usize, usize)>,
+    /// Flattened `[switch * radix + port]` — true where an HCA hangs off
+    /// the port (the enforcement layer's edge/ingress distinction).
+    pub(crate) is_host_port: Vec<bool>,
+    /// Flattened `[switch * radix + port]` — true where the output link
+    /// crosses the topology's deadlock dateline.
+    pub(crate) is_dateline: Vec<bool>,
+    pub(crate) attackers: Vec<usize>,
+    /// Per-attacker invalid P_Key(s).
+    pub(crate) attacker_pkey: Vec<PKey>,
+    /// partition id → member nodes.
+    pub(crate) partitions: Vec<Vec<usize>>,
+    /// node → partition id.
+    pub(crate) node_partition: Vec<usize>,
+    pub(crate) mtu_tx: SimTime,
+    pub(crate) auth_delay: SimTime,
+    /// Number of event domains (the topology's *natural* partition —
+    /// both engines always use it, so thread count never changes the
+    /// decomposition or any result derived from it).
+    pub(crate) num_domains: usize,
+    pub(crate) dom_of_switch: Vec<usize>,
+    pub(crate) dom_of_node: Vec<usize>,
+    /// switch → index within its domain's `switches`.
+    pub(crate) local_switch: Vec<u32>,
+    /// node → index within its domain's `hcas`.
+    pub(crate) local_node: Vec<u32>,
+    /// The domain hosting the SM (the `sm_node`'s domain).
+    pub(crate) sm_domain: usize,
+    /// Conservative lookahead window `W`: every cross-domain emission is
+    /// due at least `W` after the emitting domain's clock. `None` when a
+    /// single domain exists (or `W` would be zero) — drivers then run a
+    /// plain merge.
+    pub(crate) lookahead: Option<SimTime>,
+    /// Precomputed half-open attack windows, sorted and disjoint.
+    pub(crate) attack_windows: Vec<(SimTime, SimTime)>,
+    /// Directed-link index → index into its owning domain's fault
+    /// injectors (empty when the fault layer is off). Global stream
+    /// indices are preserved, so fault decisions are partition-invariant.
+    pub(crate) fault_local: Vec<u32>,
+}
+
+impl Shared {
+    /// Injector index for the output `port` of `switch` (HCA uplinks own
+    /// indices `0..n_nodes`).
+    fn switch_link(&self, switch: usize, port: usize) -> usize {
+        self.n_nodes + switch * self.radix + port
+    }
+}
+
+/// One event domain's mutable state: its switches and HCAs (dense local
+/// indexing), its own packet arena, stats shard, and the staging buffer
+/// handlers push scheduled events into.
+pub(crate) struct Domain {
+    pub(crate) idx: usize,
+    /// This domain's clock: the time of the event currently being handled.
+    pub(crate) now: SimTime,
+    pub(crate) switches: Vec<SwitchState>,
+    pub(crate) hcas: Vec<HcaState>,
+    /// The subnet manager lives in exactly one domain (`sm_domain`).
+    pub(crate) sm: Option<SubnetManager>,
+    pub(crate) arena: PacketArena,
+    /// Fault injectors owned by this domain (`None` ⇔ fault layer off).
+    pub(crate) faults: Option<Vec<FaultInjector>>,
+    pub(crate) stats: SimReport,
+    wire_scratch: Vec<u8>,
+    /// Events staged by handlers; the driver routes them (serial: one
+    /// merged queue; parallel: own queue or a peer domain's mailbox).
+    pub(crate) out: Vec<OutMsg>,
+    /// Events handled in this domain.
+    pub(crate) events: u64,
+    /// SM-origin event sequence counter.
+    sm_oseq: u32,
+    /// flow id → packets still undelivered (registered at the
+    /// *destination's* domain, where every packet of the flow terminates).
+    flow_progress: HashMap<u32, usize>,
+    /// Flows that completed here, with their delivery times; drivers
+    /// drain this into [`FlowRecord::completed_at`].
+    pub(crate) flow_done: Vec<(u32, SimTime)>,
+    /// Host deliveries landed in this domain; the serial driver drains
+    /// them into its global inbox.
+    pub(crate) host_inbox: VecDeque<HostDelivery>,
+}
+
+/// A staged event: absolute due time, intrinsic tie-break key, target
+/// domain. `ev` is already in cross-domain form (packet payload inlined)
+/// when `target` differs from the staging domain.
+pub(crate) struct OutMsg {
+    pub(crate) target: usize,
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) ev: Event,
+}
+
+/// Who schedules an event — determines the intrinsic key's origin id
+/// (`node`, `n_nodes + switch`, or `n_nodes + n_switches` for the SM).
+#[derive(Clone, Copy)]
+pub(crate) enum Origin {
+    Node(usize),
+    Switch(usize),
+    Sm,
+}
+
+/// The domain an event must be handled in (the domain owning the entity
+/// it mutates).
+pub(crate) fn target_domain(sh: &Shared, ev: &Event) -> usize {
+    match *ev {
+        Event::Generate { node, .. }
+        | Event::TryInject { node }
+        | Event::HcaReceive { node, .. }
+        | Event::HcaReceiveRemote { node, .. }
+        | Event::HcaCredit { node, .. } => sh.dom_of_node[node],
+        Event::SwitchArrive { switch, .. }
+        | Event::SwitchArriveRemote { switch, .. }
+        | Event::TryForward { switch, .. }
+        | Event::SwitchCredit { switch, .. }
+        | Event::FilterProgram { switch, .. } => sh.dom_of_switch[switch],
+        Event::TrapDeliver { .. } => sh.sm_domain,
+    }
+}
+
+/// Stage one event: compose its intrinsic key from the origin's counter,
+/// convert packet-carrying events to their `*Remote` form when they cross
+/// a domain boundary (releasing the packet from the source arena — the
+/// target inserts it into *its* arena at handling time, keeping per-domain
+/// arena high-water marks engine-independent), and push onto `dom.out`.
+pub(crate) fn push_ev(sh: &Shared, dom: &mut Domain, origin: Origin, at: SimTime, ev: Event) {
+    let seq = match origin {
+        Origin::Node(node) => {
+            let h = &mut dom.hcas[sh.local_node[node] as usize];
+            h.oseq += 1;
+            ((node as u64) << 32) | h.oseq as u64
+        }
+        Origin::Switch(s) => {
+            let sw = &mut dom.switches[sh.local_switch[s] as usize];
+            sw.oseq += 1;
+            (((sh.n_nodes + s) as u64) << 32) | sw.oseq as u64
+        }
+        Origin::Sm => {
+            dom.sm_oseq += 1;
+            (((sh.n_nodes + sh.n_switches) as u64) << 32) | dom.sm_oseq as u64
+        }
+    };
+    let target = target_domain(sh, &ev);
+    let ev = if target == dom.idx {
+        ev
+    } else {
+        debug_assert!(
+            sh.lookahead.is_none_or(|w| at >= dom.now + w),
+            "cross-domain event due inside the lookahead window"
+        );
+        match ev {
+            Event::SwitchArrive {
+                switch,
+                port,
+                packet,
+            } => Event::SwitchArriveRemote {
+                switch,
+                port,
+                packet: Box::new(dom.arena.release(packet)),
+            },
+            Event::HcaReceive { node, packet } => Event::HcaReceiveRemote {
+                node,
+                packet: Box::new(dom.arena.release(packet)),
+            },
+            other => other,
+        }
+    };
+    dom.out.push(OutMsg {
+        target,
+        at,
+        seq,
+        ev,
+    });
+}
+
+/// Whether the attack schedule is active at `t` (binary search over the
+/// sorted, disjoint half-open windows).
+pub(crate) fn attack_active(sh: &Shared, t: SimTime) -> bool {
+    match sh.attack_windows.binary_search_by(|w| w.0.cmp(&t)) {
+        Ok(_) => true,
+        Err(i) => i > 0 && t < sh.attack_windows[i - 1].1,
+    }
+}
+
+/// Precompute the attack schedule as sorted disjoint half-open windows.
+/// `DutyCycle` is one closed-form window; `Probabilistic` rolls each
+/// epoch on a dedicated seed stream and merges consecutive hits.
+fn compute_attack_windows(cfg: &SimConfig) -> Vec<(SimTime, SimTime)> {
+    match cfg.attack_schedule {
+        AttackSchedule::DutyCycle => {
+            let len = (cfg.attack_probability.clamp(0.0, 1.0) * cfg.duration as f64) as SimTime;
+            if len == 0 {
+                return Vec::new();
+            }
+            let start = (cfg.warmup * 2).min(cfg.duration.saturating_sub(len));
+            vec![(start, start + len)]
+        }
+        AttackSchedule::Probabilistic => {
+            let mut rng = cfg.seed.stream(ATTACK_WINDOW_STREAM).rng();
+            let p = cfg.attack_probability.clamp(0.0, 1.0);
+            let epoch = cfg.attack_epoch.max(1);
+            let mut windows: Vec<(SimTime, SimTime)> = Vec::new();
+            let mut t: SimTime = 0;
+            while t <= cfg.duration {
+                if rng.gen_bool(p) {
+                    match windows.last_mut() {
+                        Some(w) if w.1 == t => w.1 = t + epoch,
+                        _ => windows.push((t, t + epoch)),
+                    }
+                }
+                t += epoch;
+            }
+            windows
+        }
+    }
+}
+
+/// The engine-agnostic simulation core: immutable [`Shared`] state plus
+/// one [`Domain`] per topology partition. Both drivers are thin loops
+/// over this — the serial one merges every domain into a single queue,
+/// the parallel one gives each domain its own and synchronizes on
+/// lookahead windows.
+pub(crate) struct SimCore {
+    pub(crate) shared: Shared,
+    pub(crate) domains: Vec<Domain>,
+    pub(crate) flows: Vec<FlowRecord>,
+}
+
+impl SimCore {
+    pub(crate) fn new(cfg: SimConfig) -> SimCore {
         let topo = cfg.build_topology();
         let n = topo.num_nodes();
         let n_sw = topo.num_switches();
@@ -341,6 +570,9 @@ impl Simulator {
                 is_dateline[s * radix + p] = topo.is_dateline(s, p);
             }
         }
+        // The master RNG is construction-only (partition layout, attacker
+        // placement, attacker keys); every runtime draw comes from a
+        // per-node stream so results can't depend on event order.
         let mut rng = cfg.seed.rng();
 
         // ---- random partitioning into num_partitions groups ----
@@ -382,7 +614,40 @@ impl Simulator {
             .map(|_| PKey(0x8000 | rng.gen_range(0x100..0x7FFF)))
             .collect();
 
-        // ---- switches ----
+        // ---- event domains: the topology's NATURAL partition, always ----
+        // Thread count only chooses how domains map onto workers; the
+        // decomposition itself is fixed, so every derived quantity (event
+        // keys, arena high-waters, stat merge order) is identical at any
+        // parallelism — including 1.
+        let part = Partition::of(&*topo, usize::MAX);
+        let nd = part.num_domains;
+        let dom_of_switch = part.domain_of;
+        let mut local_switch = vec![0u32; n_sw];
+        let mut sw_count = vec![0u32; nd];
+        for s in 0..n_sw {
+            let d = dom_of_switch[s];
+            local_switch[s] = sw_count[d];
+            sw_count[d] += 1;
+        }
+        let dom_of_node: Vec<usize> = (0..n).map(|node| dom_of_switch[attach[node].0]).collect();
+        let mut local_node = vec![0u32; n];
+        let mut node_count = vec![0u32; nd];
+        for node in 0..n {
+            let d = dom_of_node[node];
+            local_node[node] = node_count[d];
+            node_count[d] += 1;
+        }
+        let sm_domain = dom_of_node[cfg.sm_node];
+        // Conservative lookahead: the smallest latency any cross-domain
+        // event class can carry. Propagation bounds SwitchArrive and the
+        // credit returns; the trap and program latencies bound the SM loop.
+        let w = cfg
+            .propagation_delay
+            .min(cfg.trap_latency)
+            .min(cfg.program_latency);
+        let lookahead = if nd <= 1 || w == 0 { None } else { Some(w) };
+
+        // ---- switches, grouped into their domains ----
         let all_pkeys: Vec<PKey> = (0..partitions.len()).map(pkey_of).collect();
         // Ingress filtering is configured per host port: each attachment
         // admits only its node's partition key.
@@ -390,9 +655,10 @@ impl Simulator {
         for (node, &(s, p)) in attach.iter().enumerate() {
             if_ports[s][p] = Some(vec![pkey_of(node_partition[node])]);
         }
-        let mut switches = Vec::with_capacity(n_sw);
-        for ports in if_ports {
-            let enforcement: Box<dyn PartitionEnforcer> = match cfg.enforcement {
+        let mut dom_switches: Vec<Vec<SwitchState>> = (0..nd).map(|_| Vec::new()).collect();
+        for (s, ports) in if_ports.iter_mut().enumerate() {
+            let ports = std::mem::take(ports);
+            let enforcement: Box<dyn PartitionEnforcer + Send> = match cfg.enforcement {
                 EnforcementKind::NoFiltering => Box::new(NoEnforcer),
                 EnforcementKind::Dpt => Box::new(DptEnforcer::new(all_pkeys.iter().copied())),
                 EnforcementKind::If => Box::new(IfEnforcer::new(ports)),
@@ -406,7 +672,7 @@ impl Simulator {
                     8,
                 )),
             };
-            switches.push(SwitchState {
+            dom_switches[dom_of_switch[s]].push(SwitchState {
                 in_q: (0..radix)
                     .map(|_| (0..cfg.num_vls).map(|_| VecDeque::new()).collect())
                     .collect(),
@@ -418,12 +684,14 @@ impl Simulator {
                 rr: vec![0; radix],
                 high_grants: vec![0; radix],
                 enforcement,
+                oseq: 0,
             });
         }
 
-        // ---- HCAs ----
-        let hcas = (0..n)
-            .map(|node| HcaState {
+        // ---- HCAs, grouped into their attachment switch's domain ----
+        let mut dom_hcas: Vec<Vec<HcaState>> = (0..nd).map(|_| Vec::new()).collect();
+        for node in 0..n {
+            dom_hcas[dom_of_node[node]].push(HcaState {
                 send_q: (0..cfg.num_vls).map(|_| VecDeque::new()).collect(),
                 tx_busy_until: 0,
                 inject_pending: false,
@@ -432,103 +700,119 @@ impl Simulator {
                 throttle: TrapThrottle::new(50 * crate::time::US),
                 keyed_peers: vec![false; n],
                 backoff_skips: 0,
-            })
-            .collect();
+                rng: cfg.seed.stream(node as u64).rng(),
+                oseq: 0,
+                next_pkt: 0,
+            });
+        }
 
         let mtu_tx = tx_time_ps(cfg.mtu_bytes, cfg.link_gbps);
         let auth_delay = match cfg.auth {
             AuthMode::None => 0,
             _ => cfg.auth_cycles_per_message * cfg.cycle_time,
         };
-        // Each directed link gets its own seed stream so one link's
-        // decisions never perturb another's.
-        let faults = if cfg.fault.is_active() {
+        // Each directed link keeps its *global* seed stream regardless of
+        // which domain owns it, so fault decisions are partition-invariant.
+        let mut fault_local = Vec::new();
+        let mut dom_faults: Vec<Vec<FaultInjector>> = (0..nd).map(|_| Vec::new()).collect();
+        let faults_active = cfg.fault.is_active();
+        if faults_active {
             let fseed = cfg.seed ^ 0xFA17_FA17;
             let links = n + n_sw * radix;
-            Some(
-                (0..links)
-                    .map(|i| FaultInjector::new(cfg.fault, fseed.stream(i as u64)))
-                    .collect(),
-            )
+            fault_local = vec![0u32; links];
+            for i in 0..links {
+                let d = if i < n {
+                    dom_of_node[i]
+                } else {
+                    dom_of_switch[(i - n) / radix]
+                };
+                fault_local[i] = dom_faults[d].len() as u32;
+                dom_faults[d].push(FaultInjector::new(cfg.fault, fseed.stream(i as u64)));
+            }
+        }
+
+        let attack_windows = if attackers.is_empty() {
+            Vec::new()
         } else {
-            None
+            compute_attack_windows(&cfg)
         };
 
-        let mut sim = Simulator {
-            cfg,
+        let shared = Shared {
             topo,
             n_nodes: n,
+            n_switches: n_sw,
             radix,
             attach,
             is_host_port,
             is_dateline,
-            queue: EventQueue::new(),
-            switches,
-            hcas,
-            sm,
-            rng,
-            now: 0,
-            attack_active: false,
-            attack_active_since: 0,
-            attack_active_total: 0,
             attackers,
             attacker_pkey,
             partitions,
             node_partition,
-            stats: SimReport::default(),
-            next_packet_id: 0,
             mtu_tx,
             auth_delay,
-            faults,
-            wire_scratch: Vec::new(),
-            packets: PacketArena::new(),
-            events_processed: 0,
-            held: VecDeque::new(),
-            host_inbox: VecDeque::new(),
+            num_domains: nd,
+            dom_of_switch,
+            dom_of_node,
+            local_switch,
+            local_node,
+            sm_domain,
+            lookahead,
+            attack_windows,
+            fault_local,
+            cfg,
+        };
+        let mut sm_opt = Some(sm);
+        let domains: Vec<Domain> = dom_switches
+            .into_iter()
+            .zip(dom_hcas)
+            .zip(dom_faults)
+            .enumerate()
+            .map(|(d, ((switches, hcas), faults))| Domain {
+                idx: d,
+                now: 0,
+                switches,
+                hcas,
+                sm: if d == sm_domain { sm_opt.take() } else { None },
+                arena: PacketArena::new(),
+                faults: faults_active.then_some(faults),
+                stats: SimReport::default(),
+                wire_scratch: Vec::new(),
+                out: Vec::new(),
+                events: 0,
+                sm_oseq: 0,
+                flow_progress: HashMap::new(),
+                flow_done: Vec::new(),
+                host_inbox: VecDeque::new(),
+            })
+            .collect();
+        let mut core = SimCore {
+            shared,
+            domains,
             flows: Vec::new(),
         };
-        sim.prime();
-        sim
+        core.prime();
+        core
     }
 
-    /// Fate of one packet crossing directed link `link` (clean delivery
-    /// when the fault layer is disabled).
-    fn link_fault(&mut self, link: usize) -> FaultOutcome {
-        match &mut self.faults {
-            Some(inj) => inj[link].decide(),
-            None => FaultOutcome::Deliver {
-                corrupt: false,
-                extra_delay_ps: 0,
-            },
-        }
-    }
-
-    /// Injector index for the output `port` of `switch` (HCA uplinks own
-    /// indices `0..n_nodes`).
-    fn switch_link(&self, switch: usize, port: usize) -> usize {
-        self.n_nodes + switch * self.radix + port
-    }
-
-    /// The output port `switch` forwards the referenced packet on — the
-    /// topology's flow-hash-steered route, so every packet of a (src, dst)
-    /// flow takes the same path while distinct flows spread across the
-    /// fabric's path diversity.
-    fn route_of(&self, switch: usize, pref: PacketRef) -> usize {
-        let p = self.packets.get(pref);
-        self.topo.route_flow(switch, p.dst, flow_hash(p.src, p.dst))
-    }
-
-    /// Schedule the initial traffic and attack-epoch events.
+    /// Schedule the initial traffic and the attack-window openers. The
+    /// staged events stay in each domain's `out` buffer for the driver to
+    /// route into its queue structure.
     fn prime(&mut self) {
-        let n = self.n_nodes;
-        for node in 0..n {
-            if self.attackers.contains(&node) {
+        let sh = &self.shared;
+        for node in 0..sh.n_nodes {
+            if sh.attackers.contains(&node) {
                 continue; // attacker nodes send only attack traffic (§3.1)
             }
-            if self.cfg.traffic.realtime_load > 0.0 {
-                let gap = self.cfg.interarrival_ps(self.cfg.traffic.realtime_load) as SimTime;
-                let jitter = self.rng.gen_range(0..gap.max(1));
-                self.queue.push(
+            let dom = &mut self.domains[sh.dom_of_node[node]];
+            let ln = sh.local_node[node] as usize;
+            if sh.cfg.traffic.realtime_load > 0.0 {
+                let gap = sh.cfg.interarrival_ps(sh.cfg.traffic.realtime_load) as SimTime;
+                let jitter = dom.hcas[ln].rng.gen_range(0..gap.max(1));
+                push_ev(
+                    sh,
+                    dom,
+                    Origin::Node(node),
                     jitter,
                     Event::Generate {
                         node,
@@ -536,10 +820,13 @@ impl Simulator {
                     },
                 );
             }
-            if self.cfg.traffic.best_effort_load > 0.0 {
-                let mean = self.cfg.interarrival_ps(self.cfg.traffic.best_effort_load);
-                let gap = exp_gap(&mut self.rng, mean);
-                self.queue.push(
+            if sh.cfg.traffic.best_effort_load > 0.0 {
+                let mean = sh.cfg.interarrival_ps(sh.cfg.traffic.best_effort_load);
+                let gap = exp_gap(&mut dom.hcas[ln].rng, mean);
+                push_ev(
+                    sh,
+                    dom,
+                    Origin::Node(node),
                     gap,
                     Event::Generate {
                         node,
@@ -548,9 +835,1060 @@ impl Simulator {
                 );
             }
         }
-        if !self.attackers.is_empty() {
-            self.queue.push(0, Event::AttackEpoch);
+        // One opener per attacker per window; the per-MTU Generate chain
+        // each opener starts dies at the window's close.
+        for &(start, _) in &sh.attack_windows {
+            for &a in &sh.attackers {
+                let dom = &mut self.domains[sh.dom_of_node[a]];
+                push_ev(
+                    sh,
+                    dom,
+                    Origin::Node(a),
+                    start,
+                    Event::Generate {
+                        node: a,
+                        class: TrafficClass::Attack,
+                    },
+                );
+            }
         }
+    }
+
+    /// Merge every domain's report shard (fixed domain order, so the
+    /// closed-form Welford combines are deterministic) and fill in the
+    /// derived whole-run fields.
+    pub(crate) fn merged_report(&self) -> SimReport {
+        let mut report = SimReport::default();
+        for dom in &self.domains {
+            report.merge(&dom.stats);
+        }
+        report.backoff_skips = self
+            .domains
+            .iter()
+            .flat_map(|d| d.hcas.iter())
+            .map(|h| h.backoff_skips)
+            .sum();
+        report.attack_active_fraction = if self.shared.cfg.duration > 0 {
+            let active: SimTime = self
+                .shared
+                .attack_windows
+                .iter()
+                .map(|&(s, e)| e.min(self.shared.cfg.duration).saturating_sub(s))
+                .sum();
+            active as f64 / self.shared.cfg.duration as f64
+        } else {
+            0.0
+        };
+        report
+    }
+
+    /// Events handled across all domains.
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.domains.iter().map(|d| d.events).sum()
+    }
+
+    /// Sum of the per-domain arena high-water marks (deterministic: the
+    /// deferred-insertion rule keeps every domain's arena history
+    /// identical under both drivers).
+    pub(crate) fn peak_packets(&self) -> usize {
+        self.domains.iter().map(|d| d.arena.capacity()).sum()
+    }
+
+    /// Queue a host wire image at `src`'s HCA (see [`Simulator::post_host`]).
+    pub(crate) fn post_host_at(
+        &mut self,
+        now: SimTime,
+        src: usize,
+        dst: usize,
+        vl: u8,
+        bytes: Vec<u8>,
+    ) {
+        let sh = &self.shared;
+        let dom = &mut self.domains[sh.dom_of_node[src]];
+        let ln = sh.local_node[src] as usize;
+        let hca = &mut dom.hcas[ln];
+        hca.next_pkt += 1;
+        let id = ((src as u64) << 32) | hca.next_pkt as u64;
+        dom.stats.generated += 1;
+        let pkey = PKey(0x8000 | (sh.node_partition[src] as u16 + 1));
+        let class = if vl == 15 {
+            TrafficClass::Management
+        } else {
+            TrafficClass::BestEffort
+        };
+        let packet = SimPacket {
+            id,
+            src,
+            dst,
+            class,
+            pkey,
+            vl,
+            bytes: bytes.len(),
+            gen_time: now,
+            inject_time: 0,
+            trap: None,
+            icrc: 0,
+            corrupted: false,
+            wire: Some(bytes),
+            flow: None,
+        };
+        let qvl = vl as usize;
+        let pref = dom.arena.insert(packet);
+        dom.hcas[ln].send_q[qvl].push_back((pref, now));
+        Ctx { sh, dom }.schedule_inject(src, now);
+    }
+
+    /// Queue a finite transfer (see [`Simulator::post_flow`]). The flow's
+    /// outstanding-packet count registers in the *destination's* domain —
+    /// where every packet of the flow terminates — before any packet is
+    /// created, so same-domain flows can't race their own completion.
+    pub(crate) fn post_flow_at(
+        &mut self,
+        now: SimTime,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    ) -> usize {
+        let sh = &self.shared;
+        assert!(src < sh.n_nodes && dst < sh.n_nodes && src != dst);
+        let flow = self.flows.len() as u32;
+        let mtu = sh.cfg.mtu_bytes as u64;
+        let npkts = bytes.div_ceil(mtu).max(1) as usize;
+        let pkey = PKey(0x8000 | (sh.node_partition[src] as u16 + 1));
+        self.domains[sh.dom_of_node[dst]]
+            .flow_progress
+            .insert(flow, npkts);
+        let dom = &mut self.domains[sh.dom_of_node[src]];
+        let ln = sh.local_node[src] as usize;
+        let qvl = TrafficClass::BestEffort.vl() as usize;
+        let mut left = bytes;
+        for _ in 0..npkts {
+            let size = left.min(mtu).max(1) as usize;
+            left = left.saturating_sub(mtu);
+            let hca = &mut dom.hcas[ln];
+            hca.next_pkt += 1;
+            let id = ((src as u64) << 32) | hca.next_pkt as u64;
+            dom.stats.generated += 1;
+            let mut packet = SimPacket {
+                id,
+                src,
+                dst,
+                class: TrafficClass::BestEffort,
+                pkey,
+                vl: TrafficClass::BestEffort.vl(),
+                bytes: size,
+                gen_time: now,
+                inject_time: 0,
+                trap: None,
+                icrc: 0,
+                corrupted: false,
+                wire: None,
+                flow: Some(flow),
+            };
+            if dom.faults.is_some() {
+                packet.icrc = wire_icrc(&mut dom.wire_scratch, &packet);
+            }
+            let pref = dom.arena.insert(packet);
+            dom.hcas[ln].send_q[qvl].push_back((pref, now));
+        }
+        Ctx { sh, dom }.schedule_inject(src, now);
+        self.flows.push(FlowRecord {
+            src,
+            dst,
+            bytes,
+            posted_at: now,
+            completed_at: None,
+        });
+        flow as usize
+    }
+
+    /// Drain every domain's completion log into the flow records (the
+    /// parallel driver calls this once after the run; the serial driver
+    /// drains incrementally and finds nothing left here).
+    pub(crate) fn finalize_flows(&mut self) {
+        let flows = &mut self.flows;
+        for dom in &mut self.domains {
+            for (f, at) in dom.flow_done.drain(..) {
+                flows[f as usize].completed_at = Some(at);
+            }
+        }
+    }
+}
+
+/// A handler's view: the shared tables plus exactly one domain. Every
+/// event mutates only its target domain; anything bound for another
+/// domain goes through [`push_ev`] and stays staged until the driver
+/// routes it.
+pub(crate) struct Ctx<'a> {
+    pub(crate) sh: &'a Shared,
+    pub(crate) dom: &'a mut Domain,
+}
+
+impl Ctx<'_> {
+    fn push(&mut self, origin: Origin, at: SimTime, ev: Event) {
+        push_ev(self.sh, self.dom, origin, at, ev);
+    }
+
+    /// Fate of one packet crossing directed link `link` (clean delivery
+    /// when the fault layer is disabled).
+    fn link_fault(&mut self, link: usize) -> FaultOutcome {
+        match &mut self.dom.faults {
+            Some(inj) => inj[self.sh.fault_local[link] as usize].decide(),
+            None => FaultOutcome::Deliver {
+                corrupt: false,
+                extra_delay_ps: 0,
+            },
+        }
+    }
+
+    /// The output port `switch` forwards the referenced packet on — the
+    /// topology's flow-hash-steered route, so every packet of a (src, dst)
+    /// flow takes the same path while distinct flows spread across the
+    /// fabric's path diversity.
+    fn route_of(&self, switch: usize, pref: PacketRef) -> usize {
+        let p = self.dom.arena.get(pref);
+        self.sh
+            .topo
+            .route_flow(switch, p.dst, flow_hash(p.src, p.dst))
+    }
+
+    fn class_stats(&mut self, class: TrafficClass) -> &mut ClassStats {
+        match class {
+            TrafficClass::Realtime => &mut self.dom.stats.realtime,
+            // Management shares the attack bucket for drop accounting; its
+            // deliveries are tracked separately in `mgmt_delivered`.
+            TrafficClass::BestEffort => &mut self.dom.stats.best_effort,
+            TrafficClass::Attack | TrafficClass::Management => &mut self.dom.stats.attack,
+        }
+    }
+
+    pub(crate) fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Generate { node, class } => self.on_generate(node, class),
+            Event::TryInject { node } => self.on_try_inject(node),
+            Event::SwitchArrive {
+                switch,
+                port,
+                packet,
+            } => self.on_switch_arrive(switch, port, packet),
+            Event::SwitchArriveRemote {
+                switch,
+                port,
+                packet,
+            } => {
+                // A packet handed over from another domain: it enters this
+                // domain's arena at the same instant it would have entered
+                // a global one, so high-water marks stay engine-independent.
+                let pref = self.dom.arena.insert(*packet);
+                self.on_switch_arrive(switch, port, pref);
+            }
+            Event::TryForward { switch, port } => self.on_try_forward(switch, port),
+            Event::HcaReceive { node, packet } => self.on_hca_receive(node, packet),
+            Event::HcaReceiveRemote { node, packet } => {
+                let pref = self.dom.arena.insert(*packet);
+                self.on_hca_receive(node, pref);
+            }
+            Event::SwitchCredit { switch, port, vl } => {
+                let ls = self.sh.local_switch[switch] as usize;
+                self.dom.switches[ls].out_credits[port][vl as usize] += 1;
+                let now = self.dom.now;
+                self.schedule_forward(switch, port, now);
+            }
+            Event::HcaCredit { node, vl } => {
+                let ln = self.sh.local_node[node] as usize;
+                self.dom.hcas[ln].credits[vl as usize] += 1;
+                let now = self.dom.now;
+                self.schedule_inject(node, now);
+            }
+            Event::TrapDeliver { trap } => self.on_trap_deliver(trap),
+            Event::FilterProgram { switch, port, pkey } => {
+                let ls = self.sh.local_switch[switch] as usize;
+                let now = self.dom.now;
+                self.dom.switches[ls]
+                    .enforcement
+                    .register_invalid(now, port, pkey);
+            }
+        }
+    }
+
+    fn on_trap_deliver(&mut self, trap: Trap) {
+        self.dom.stats.traps += 1;
+        let sm = self
+            .dom
+            .sm
+            .as_mut()
+            .expect("TrapDeliver routed to the SM's domain");
+        if let Some(action) = sm.handle_trap(&trap) {
+            let at = self.dom.now + self.sh.cfg.program_latency;
+            self.push(
+                Origin::Sm,
+                at,
+                Event::FilterProgram {
+                    switch: action.switch,
+                    port: action.port,
+                    pkey: action.pkey,
+                },
+            );
+        }
+    }
+
+    // ---------------------------------------------------------------- traffic
+
+    fn on_generate(&mut self, node: usize, class: TrafficClass) {
+        let sh = self.sh;
+        let now = self.dom.now;
+        let ln = sh.local_node[node] as usize;
+        match class {
+            // Management traffic is event-driven (traps), never a source.
+            TrafficClass::Management => {}
+            TrafficClass::Realtime => {
+                let gap = sh.cfg.interarrival_ps(sh.cfg.traffic.realtime_load) as SimTime;
+                if now + gap <= sh.cfg.duration {
+                    self.push(
+                        Origin::Node(node),
+                        now + gap,
+                        Event::Generate { node, class },
+                    );
+                }
+                // Back-off: a realtime source checks network headroom via
+                // its local queue depth before emitting.
+                let vl = class.vl() as usize;
+                if self.dom.hcas[ln].send_q[vl].len() >= sh.cfg.traffic.realtime_backoff_queue {
+                    self.dom.hcas[ln].backoff_skips += 1;
+                    return;
+                }
+                if let Some(dst) = self.pick_partition_peer(node) {
+                    self.emit(node, dst, class);
+                }
+            }
+            TrafficClass::BestEffort => {
+                let mean = sh.cfg.interarrival_ps(sh.cfg.traffic.best_effort_load);
+                let gap = exp_gap(&mut self.dom.hcas[ln].rng, mean);
+                if now + gap <= sh.cfg.duration {
+                    self.push(
+                        Origin::Node(node),
+                        now + gap,
+                        Event::Generate { node, class },
+                    );
+                }
+                if let Some(dst) = self.pick_partition_peer(node) {
+                    self.emit(node, dst, class);
+                }
+            }
+            TrafficClass::Attack => {
+                if !attack_active(sh, now) || now > sh.cfg.duration {
+                    return; // the window closed: the chain stops
+                }
+                // Full speed: next generation exactly one MTU time later.
+                self.push(
+                    Origin::Node(node),
+                    now + sh.mtu_tx,
+                    Event::Generate { node, class },
+                );
+                // Bound the attacker's own backlog so an over-driven source
+                // doesn't consume unbounded memory (its queue depth is not a
+                // measured quantity).
+                let backlog: usize = self.dom.hcas[ln].send_q.iter().map(VecDeque::len).sum();
+                if backlog >= 32 {
+                    return;
+                }
+                match sh.cfg.attack_keys {
+                    AttackKeys::RandomInvalid => {
+                        let n = sh.n_nodes;
+                        let mut dst = self.dom.hcas[ln].rng.gen_range(0..n);
+                        if dst == node {
+                            dst = (dst + 1) % n;
+                        }
+                        let idx = sh.attackers.iter().position(|a| *a == node).unwrap_or(0);
+                        let pkey = sh.attacker_pkey[idx];
+                        self.emit_with_pkey(node, dst, class, pkey);
+                    }
+                    // §7's residual attack: flood *within the attacker's own
+                    // partition* with its valid key — every check passes, so
+                    // "any ingress filtering is useless".
+                    AttackKeys::Valid => {
+                        if let Some(dst) = self.pick_partition_peer(node) {
+                            let pkey = PKey(0x8000 | (sh.node_partition[node] as u16 + 1));
+                            self.emit_with_pkey(node, dst, class, pkey);
+                        }
+                    }
+                    // §7's SM DoS: dump MAD-sized management packets at the
+                    // SM node on VL15 — they cross every partition check.
+                    AttackKeys::SmFlood => {
+                        let dst = sh.cfg.sm_node;
+                        if dst != node {
+                            self.emit_management(node, dst, TrafficClass::Attack, None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn pick_partition_peer(&mut self, node: usize) -> Option<usize> {
+        let sh = self.sh;
+        let members = &sh.partitions[sh.node_partition[node]];
+        // Peers exclude only self: victims don't know which partition
+        // members are compromised, so attacker nodes still *receive*
+        // legitimate traffic (they just don't send any, per §3.1).
+        let candidates: Vec<usize> = members.iter().copied().filter(|m| *m != node).collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            let rng = &mut self.dom.hcas[sh.local_node[node] as usize].rng;
+            Some(candidates[rng.gen_range(0..candidates.len())])
+        }
+    }
+
+    fn emit(&mut self, src: usize, dst: usize, class: TrafficClass) {
+        let pkey = PKey(0x8000 | (self.sh.node_partition[src] as u16 + 1));
+        self.emit_with_pkey(src, dst, class, pkey);
+    }
+
+    fn emit_with_pkey(&mut self, src: usize, dst: usize, class: TrafficClass, pkey: PKey) {
+        let sh = self.sh;
+        let now = self.dom.now;
+        let ln = sh.local_node[src] as usize;
+        let hca = &mut self.dom.hcas[ln];
+        hca.next_pkt += 1;
+        let id = ((src as u64) << 32) | hca.next_pkt as u64;
+        // Attackers spray across both data VLs ("dump tremendous traffic")
+        // so realtime and best-effort both feel the flood; legitimate
+        // traffic stays on its class VL.
+        let vl = if class == TrafficClass::Attack {
+            hca.rng.gen_range(0..2)
+        } else {
+            class.vl()
+        };
+        self.dom.stats.generated += 1;
+        let mut packet = SimPacket {
+            id,
+            src,
+            dst,
+            class,
+            pkey,
+            vl,
+            bytes: sh.cfg.mtu_bytes,
+            gen_time: now,
+            inject_time: 0,
+            trap: None,
+            icrc: 0,
+            corrupted: false,
+            wire: None,
+            flow: None,
+        };
+        // Emission-time ICRC — only consulted when the fault layer can
+        // corrupt packets in transit, so fault-free runs skip it.
+        if self.dom.faults.is_some() {
+            packet.icrc = wire_icrc(&mut self.dom.wire_scratch, &packet);
+        }
+        // QP-level key management: first contact with a peer pays one RTT
+        // before the packet may leave (§4.3 / Figure 6).
+        let keyed = &mut self.dom.hcas[ln].keyed_peers;
+        let ready =
+            if sh.cfg.auth == AuthMode::QpLevel && class != TrafficClass::Attack && !keyed[dst] {
+                keyed[dst] = true;
+                now + sh.cfg.key_exchange_rtt
+            } else {
+                now
+            };
+        let qvl = packet.vl as usize;
+        let pref = self.dom.arena.insert(packet);
+        self.dom.hcas[ln].send_q[qvl].push_back((pref, ready));
+        self.schedule_inject(src, ready);
+    }
+
+    /// Emit a 256-byte MAD (+ headers) on VL15. `class` distinguishes
+    /// legitimate management traffic from an SM flood; `trap` carries the
+    /// notice for in-band trap delivery.
+    fn emit_management(&mut self, src: usize, dst: usize, class: TrafficClass, trap: Option<Trap>) {
+        let now = self.dom.now;
+        let ln = self.sh.local_node[src] as usize;
+        let hca = &mut self.dom.hcas[ln];
+        hca.next_pkt += 1;
+        let id = ((src as u64) << 32) | hca.next_pkt as u64;
+        self.dom.stats.generated += 1;
+        let mut packet = SimPacket {
+            id,
+            src,
+            dst,
+            class,
+            pkey: PKey::DEFAULT,
+            vl: 15,
+            // MAD payload + LRH/BTH/DETH + ICRC/VCRC.
+            bytes: ib_packet::mad::MAD_LEN + 8 + 12 + 8 + 6,
+            gen_time: now,
+            inject_time: 0,
+            trap,
+            icrc: 0,
+            corrupted: false,
+            wire: None,
+            flow: None,
+        };
+        if self.dom.faults.is_some() {
+            packet.icrc = wire_icrc(&mut self.dom.wire_scratch, &packet);
+        }
+        let pref = self.dom.arena.insert(packet);
+        self.dom.hcas[ln].send_q[15].push_back((pref, now));
+        self.schedule_inject(src, now);
+    }
+
+    // ---------------------------------------------------------------- HCA TX
+
+    fn schedule_inject(&mut self, node: usize, at: SimTime) {
+        let ln = self.sh.local_node[node] as usize;
+        if !self.dom.hcas[ln].inject_pending {
+            self.dom.hcas[ln].inject_pending = true;
+            let at = at.max(self.dom.now);
+            self.push(Origin::Node(node), at, Event::TryInject { node });
+        }
+    }
+
+    fn on_try_inject(&mut self, node: usize) {
+        let sh = self.sh;
+        let now = self.dom.now;
+        let ln = sh.local_node[node] as usize;
+        self.dom.hcas[ln].inject_pending = false;
+        if now < self.dom.hcas[ln].tx_busy_until {
+            let at = self.dom.hcas[ln].tx_busy_until;
+            self.schedule_inject(node, at);
+            return;
+        }
+        // VL priority: scan data VLs from highest to lowest.
+        let mut chosen: Option<usize> = None;
+        let mut earliest_block: Option<SimTime> = None;
+        for vl in (0..sh.cfg.num_vls).rev() {
+            let Some(&(_, ready)) = self.dom.hcas[ln].send_q[vl].front() else {
+                continue;
+            };
+            if ready > now {
+                earliest_block = Some(earliest_block.map_or(ready, |e: SimTime| e.min(ready)));
+                continue;
+            }
+            if self.dom.hcas[ln].credits[vl] == 0 {
+                continue; // blocked on credits; a credit event will retry
+            }
+            chosen = Some(vl);
+            break;
+        }
+        let Some(vl) = chosen else {
+            if let Some(at) = earliest_block {
+                self.schedule_inject(node, at);
+            }
+            return;
+        };
+        let (pref, _) = self.dom.hcas[ln].send_q[vl].pop_front().unwrap();
+        self.dom.hcas[ln].credits[vl] -= 1;
+        // MAC generation occupies the sender before the first byte (§6:
+        // "one additional stage at each end node per message").
+        let start = now + sh.auth_delay;
+        let (bytes, class, pvl) = {
+            let packet = self.dom.arena.get_mut(pref);
+            packet.inject_time = start;
+            (packet.bytes, packet.class, packet.vl)
+        };
+        let tx_end = start + tx_time_ps(bytes, sh.cfg.link_gbps);
+        self.dom.hcas[ln].tx_busy_until = tx_end;
+        let arrival = tx_end + sh.cfg.propagation_delay;
+        match self.link_fault(node) {
+            FaultOutcome::Drop => {
+                // The switch never sees the packet, so it can't return the
+                // buffer credit — model the slot as freeing on arrival.
+                self.dom.stats.link_drops += 1;
+                self.class_stats(class).dropped += 1;
+                self.dom.arena.release(pref);
+                self.push(
+                    Origin::Node(node),
+                    arrival,
+                    Event::HcaCredit { node, vl: pvl },
+                );
+            }
+            FaultOutcome::Deliver {
+                corrupt,
+                extra_delay_ps,
+            } => {
+                self.dom.arena.get_mut(pref).corrupted |= corrupt;
+                let (att_sw, att_port) = sh.attach[node];
+                self.push(
+                    Origin::Node(node),
+                    arrival + extra_delay_ps,
+                    Event::SwitchArrive {
+                        switch: att_sw,
+                        port: att_port,
+                        packet: pref,
+                    },
+                );
+            }
+        }
+        // Re-evaluate once the link frees.
+        self.schedule_inject(node, tx_end);
+    }
+
+    // ------------------------------------------------------------- switching
+
+    fn on_switch_arrive(&mut self, switch: usize, port: usize, pref: PacketRef) {
+        let sh = self.sh;
+        let now = self.dom.now;
+        let ls = sh.local_switch[switch] as usize;
+        let (pvl, src, dst, pkey, class) = {
+            let packet = self.dom.arena.get(pref);
+            (packet.vl, packet.src, packet.dst, packet.pkey, packet.class)
+        };
+        let is_edge = sh.is_host_port[switch * sh.radix + port];
+        // Management packets cross partition enforcement unchecked — "a
+        // management packet can reach SM regardless of its partition" (§7),
+        // which is precisely what makes the SM-flood attack possible.
+        let check = if pvl == 15 {
+            FilterCheck {
+                decision: FilterDecision::Pass,
+                lookup_cycles: 0,
+            }
+        } else {
+            self.dom.switches[ls]
+                .enforcement
+                .check(now, port, is_edge, sh.topo.lid_of(src), pkey)
+        };
+        self.dom.stats.lookup_cycles += check.lookup_cycles;
+        if check.decision == FilterDecision::Drop {
+            self.dom.stats.filter_drops += 1;
+            self.class_stats(class).dropped += 1;
+            self.dom.arena.release(pref);
+            self.return_credit(switch, port, pvl);
+            return;
+        }
+        let vl = pvl as usize;
+        let out_port = sh.topo.route_flow(switch, dst, flow_hash(src, dst));
+        self.dom.switches[ls].in_q[port][vl].push_back(QueuedPacket {
+            packet: pref,
+            lookup_cycles: check.lookup_cycles,
+        });
+        self.schedule_forward(switch, out_port, now + sh.cfg.switch_latency);
+    }
+
+    fn schedule_forward(&mut self, switch: usize, port: usize, at: SimTime) {
+        let ls = self.sh.local_switch[switch] as usize;
+        if !self.dom.switches[ls].forward_pending[port] {
+            self.dom.switches[ls].forward_pending[port] = true;
+            let at = at.max(self.dom.now);
+            self.push(
+                Origin::Switch(switch),
+                at,
+                Event::TryForward { switch, port },
+            );
+        }
+    }
+
+    fn on_try_forward(&mut self, switch: usize, out_port: usize) {
+        let sh = self.sh;
+        let now = self.dom.now;
+        let ls = sh.local_switch[switch] as usize;
+        self.dom.switches[ls].forward_pending[out_port] = false;
+        if now < self.dom.switches[ls].out_busy_until[out_port] {
+            let at = self.dom.switches[ls].out_busy_until[out_port];
+            self.schedule_forward(switch, out_port, at);
+            return;
+        }
+        let peer = sh.topo.peer(switch, out_port);
+        // Crossing the topology's dateline escalates data packets to the
+        // next VL — the per-(port, VL) buffers double as the virtual
+        // channels that break credit-deadlock cycles (dragonfly global
+        // links; a no-op on mesh and fat-tree). VL15 management never
+        // escalates.
+        let dateline = sh.is_dateline[switch * sh.radix + out_port];
+        let out_vl = move |vl: usize| if dateline && vl < 8 { vl + 1 } else { vl };
+        // Arbitrate: find the best candidate per VL (round-robin over input
+        // ports within a VL), then apply the VL arbitration policy.
+        let nports = sh.radix;
+        let mut best_high: Option<(usize, usize)> = None; // highest VL > 0
+        let mut best_low: Option<(usize, usize)> = None; // VL 0
+        for vl in (0..sh.cfg.num_vls).rev() {
+            if vl > 0 && best_high.is_some() {
+                continue;
+            }
+            if vl == 0 && best_low.is_some() {
+                continue;
+            }
+            // Credit check applies to switch-to-switch hops; HCA receive
+            // buffers are modeled as ample (the HCA drains at line rate).
+            if let Peer::Switch { .. } = peer {
+                if self.dom.switches[ls].out_credits[out_port][out_vl(vl)] == 0 {
+                    continue;
+                }
+            }
+            let start = self.dom.switches[ls].rr[out_port];
+            for k in 0..nports {
+                let in_port = (start + k) % nports;
+                let head = self.dom.switches[ls].in_q[in_port][vl]
+                    .front()
+                    .map(|q| q.packet);
+                if let Some(head) = head {
+                    if self.route_of(switch, head) == out_port {
+                        if vl > 0 {
+                            best_high = Some((in_port, vl));
+                        } else {
+                            best_low = Some((in_port, vl));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        let selected = match (sh.cfg.arbitration, best_high, best_low) {
+            (_, None, low) => low,
+            (ArbitrationPolicy::StrictPriority, high, _) => high,
+            (ArbitrationPolicy::Weighted { high_limit }, high, low) => {
+                // IBA-style weighted tables: after `high_limit` consecutive
+                // high-priority grants, a pending low-priority packet gets
+                // one slot (prevents total starvation of VL0).
+                if self.dom.switches[ls].high_grants[out_port] >= high_limit && low.is_some() {
+                    low
+                } else {
+                    high
+                }
+            }
+        };
+        let Some((in_port, vl)) = selected else {
+            return;
+        };
+        if vl > 0 {
+            self.dom.switches[ls].high_grants[out_port] += 1;
+        } else {
+            self.dom.switches[ls].high_grants[out_port] = 0;
+        }
+        self.dom.switches[ls].rr[out_port] = (in_port + 1) % nports;
+        let qp = self.dom.switches[ls].in_q[in_port][vl].pop_front().unwrap();
+        let pref = qp.packet;
+        let (bytes, class) = {
+            let packet = self.dom.arena.get(pref);
+            (packet.bytes, packet.class)
+        };
+        // Service time: enforcement lookups + store-and-forward transmit.
+        let service = qp.lookup_cycles * sh.cfg.cycle_time + tx_time_ps(bytes, sh.cfg.link_gbps);
+        let tx_end = now + service;
+        self.dom.switches[ls].out_busy_until[out_port] = tx_end;
+        match peer {
+            Peer::Switch {
+                switch: next,
+                port: next_port,
+            } => {
+                // The downstream buffer class is the (possibly escalated)
+                // VL: credits, the arrival queue, and the credit-return on
+                // a wire drop must all agree on it.
+                let fvl = out_vl(vl);
+                self.dom.switches[ls].out_credits[out_port][fvl] -= 1;
+                let arrival = tx_end + sh.cfg.propagation_delay;
+                match self.link_fault(sh.switch_link(switch, out_port)) {
+                    FaultOutcome::Drop => {
+                        // Downstream never sees the packet; its buffer slot
+                        // credit comes back as if freed on arrival.
+                        self.dom.stats.link_drops += 1;
+                        self.class_stats(class).dropped += 1;
+                        self.dom.arena.release(pref);
+                        self.push(
+                            Origin::Switch(switch),
+                            arrival,
+                            Event::SwitchCredit {
+                                switch,
+                                port: out_port,
+                                vl: fvl as u8,
+                            },
+                        );
+                    }
+                    FaultOutcome::Deliver {
+                        corrupt,
+                        extra_delay_ps,
+                    } => {
+                        let packet = self.dom.arena.get_mut(pref);
+                        packet.corrupted |= corrupt;
+                        packet.vl = fvl as u8;
+                        self.push(
+                            Origin::Switch(switch),
+                            arrival + extra_delay_ps,
+                            Event::SwitchArrive {
+                                switch: next,
+                                port: next_port,
+                                packet: pref,
+                            },
+                        );
+                    }
+                }
+            }
+            Peer::Hca { node } => {
+                let arrival = tx_end + sh.cfg.propagation_delay;
+                match self.link_fault(sh.switch_link(switch, out_port)) {
+                    FaultOutcome::Drop => {
+                        self.dom.stats.link_drops += 1;
+                        self.class_stats(class).dropped += 1;
+                        self.dom.arena.release(pref);
+                    }
+                    FaultOutcome::Deliver {
+                        corrupt,
+                        extra_delay_ps,
+                    } => {
+                        self.dom.arena.get_mut(pref).corrupted |= corrupt;
+                        self.push(
+                            Origin::Switch(switch),
+                            arrival + extra_delay_ps,
+                            Event::HcaReceive { node, packet: pref },
+                        );
+                    }
+                }
+            }
+            Peer::None => unreachable!("routing never selects an edge port"),
+        }
+        // The input buffer slot frees now: return a credit upstream.
+        self.return_credit(switch, in_port, vl as u8);
+        // The queue we popped from has a new head that may want a
+        // *different* output port — wake that port, or packets behind a
+        // departed head would wait for an unrelated arrival (HOL stall).
+        let next_out = self.dom.switches[ls].in_q[in_port][vl]
+            .front()
+            .map(|next| next.packet)
+            .map(|p| self.route_of(switch, p));
+        if let Some(next_out) = next_out {
+            if next_out != out_port {
+                self.schedule_forward(switch, next_out, now);
+            }
+        }
+        // The port may have more work the instant it frees.
+        self.schedule_forward(switch, out_port, tx_end);
+    }
+
+    /// Return one credit to whatever feeds `(switch, in_port)`.
+    fn return_credit(&mut self, switch: usize, in_port: usize, vl: u8) {
+        let at = self.dom.now + self.sh.cfg.propagation_delay;
+        match self.sh.topo.peer(switch, in_port) {
+            Peer::Hca { node } => {
+                self.push(Origin::Switch(switch), at, Event::HcaCredit { node, vl })
+            }
+            Peer::Switch {
+                switch: up,
+                port: up_port,
+            } => self.push(
+                Origin::Switch(switch),
+                at,
+                Event::SwitchCredit {
+                    switch: up,
+                    port: up_port,
+                    vl,
+                },
+            ),
+            Peer::None => {}
+        }
+    }
+
+    // ------------------------------------------------------------- receiving
+
+    fn on_hca_receive(&mut self, node: usize, pref: PacketRef) {
+        let sh = self.sh;
+        let now = self.dom.now;
+        let ln = sh.local_node[node] as usize;
+        // Host-injected packets skip the abstract receive path entirely:
+        // the wire image goes back to the host, with transit corruption
+        // applied as a byte flip (mirroring the point-to-point harness),
+        // for the host transport's own VCRC/MAC verification to judge.
+        if self.dom.arena.get(pref).wire.is_some() {
+            let packet = self.dom.arena.release(pref);
+            let mut bytes = packet.wire.unwrap();
+            if packet.corrupted && !bytes.is_empty() {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0xFF;
+            }
+            if packet.vl == 15 {
+                self.dom.stats.mgmt_delivered += 1;
+            }
+            self.dom.host_inbox.push_back(HostDelivery {
+                at: now,
+                node,
+                bytes,
+            });
+            return;
+        }
+        // CRC check before anything else looks at the packet (VCRC/ICRC
+        // precede all header processing). Untouched packets re-render
+        // bit-identically by construction, so their cached emission-time
+        // ICRC is authoritative and verification is skipped; only packets
+        // the fault layer flipped in transit get the full re-render —
+        // with the transit bit flip — recompute, and compare against the
+        // CRC stamped at emission.
+        if self.dom.arena.get(pref).corrupted {
+            let dom = &mut *self.dom;
+            render_wire_image(&mut dom.wire_scratch, dom.arena.get(pref));
+            let mid = dom.wire_scratch.len() / 2;
+            dom.wire_scratch[mid] ^= 0xFF;
+            let mut crc = Crc32::new();
+            crc.update_slice8(&dom.wire_scratch);
+            if crc.finalize() != dom.arena.get(pref).icrc {
+                self.dom.stats.corrupt_drops += 1;
+                let class = self.dom.arena.release(pref).class;
+                self.class_stats(class).dropped += 1;
+                return;
+            }
+        }
+        // The HCA is the packet's terminal point on every path below:
+        // take it out of the arena and recycle the slot.
+        let packet = self.dom.arena.release(pref);
+        // Management datagrams: no partition check, no data statistics.
+        if packet.vl == 15 {
+            self.dom.stats.mgmt_delivered += 1;
+            if node == sh.cfg.sm_node {
+                if let Some(trap) = packet.trap {
+                    // In-band trap reached the SM: same handling as the
+                    // out-of-band TrapDeliver path (the SM node's domain is
+                    // the SM's domain, so this stays local).
+                    self.on_trap_deliver(trap);
+                }
+                // Trap-less VL15 packets at the SM are the §7 flood: they
+                // consumed fabric + SM capacity and are dropped here.
+            }
+            return;
+        }
+        // MAC verification stage at the receiver.
+        let delivered_at = now + sh.auth_delay;
+        let (ok, _) = self.dom.hcas[ln].table.check(packet.pkey);
+        if !ok {
+            self.dom.stats.hca_blocked += 1;
+            // Receive-side P_Key violation: maybe raise a trap (§3.3).
+            let reporter = sh.topo.lid_of(node);
+            let violator = sh.topo.lid_of(packet.src);
+            if let Some(trap) =
+                self.dom.hcas[ln]
+                    .throttle
+                    .offer(now, reporter, packet.pkey, violator)
+            {
+                match sh.cfg.trap_transport {
+                    TrapTransport::OutOfBand => {
+                        self.push(
+                            Origin::Node(node),
+                            now + sh.cfg.trap_latency,
+                            Event::TrapDeliver { trap },
+                        );
+                    }
+                    TrapTransport::InBand => {
+                        let sm = sh.cfg.sm_node;
+                        if sm == node {
+                            self.on_trap_deliver(trap);
+                        } else {
+                            self.emit_management(node, sm, TrafficClass::Management, Some(trap));
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        if packet.class == TrafficClass::Attack {
+            // Valid-key floods land here; count them, keep them out of the
+            // legitimate-traffic statistics.
+            self.dom.stats.attack.delivered += 1;
+            return;
+        }
+        if let Some(flow) = packet.flow {
+            let remaining = self
+                .dom
+                .flow_progress
+                .get_mut(&flow)
+                .expect("flow registered in the destination's domain");
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.dom.flow_progress.remove(&flow);
+                self.dom.flow_done.push((flow, delivered_at));
+            }
+        }
+        if packet.gen_time >= sh.cfg.warmup {
+            let queuing = packet.inject_time - packet.gen_time;
+            let network = delivered_at - packet.inject_time;
+            self.class_stats(packet.class).record(queuing, network);
+        }
+    }
+}
+
+// ------------------------------------------------------------ serial driver
+
+/// The serial driver — the parallel engine's correctness oracle. One
+/// merged [`EventQueue`]; events pop in global `(time, seq)` order and
+/// dispatch into their target domain's [`Ctx`].
+pub struct Simulator {
+    core: SimCore,
+    queue: EventQueue,
+    now: SimTime,
+    /// Events popped past a `run_hosts_until` horizon, kept in key order.
+    held: VecDeque<(EventKey, Event)>,
+    host_inbox: VecDeque<HostDelivery>,
+}
+
+impl Simulator {
+    /// Build the simulation: topology, partition layout, attackers, SM,
+    /// and the initial event population.
+    pub fn new(cfg: SimConfig) -> Simulator {
+        let core = SimCore::new(cfg);
+        let mut sim = Simulator {
+            core,
+            queue: EventQueue::new(),
+            now: 0,
+            held: VecDeque::new(),
+            host_inbox: VecDeque::new(),
+        };
+        sim.drain_staged();
+        sim
+    }
+
+    /// Move every staged event (from construction or a `post_*` call)
+    /// into the merged queue.
+    fn drain_staged(&mut self) {
+        let queue = &mut self.queue;
+        for dom in &mut self.core.domains {
+            for m in dom.out.drain(..) {
+                queue.push_keyed(m.at, m.seq, m.ev);
+            }
+        }
+    }
+
+    /// Handle one event in its target domain, then route whatever it
+    /// staged back into the merged queue and surface completions.
+    fn dispatch(&mut self, key: EventKey, ev: Event) {
+        debug_assert!(key.time >= self.now, "time went backwards");
+        self.now = key.time;
+        let d = target_domain(&self.core.shared, &ev);
+        let core = &mut self.core;
+        let dom = &mut core.domains[d];
+        dom.now = key.time;
+        dom.events += 1;
+        Ctx {
+            sh: &core.shared,
+            dom,
+        }
+        .handle(ev);
+        for m in dom.out.drain(..) {
+            self.queue.push_keyed(m.at, m.seq, m.ev);
+        }
+        for (f, at) in dom.flow_done.drain(..) {
+            core.flows[f as usize].completed_at = Some(at);
+        }
+        self.host_inbox.append(&mut dom.host_inbox);
+    }
+
+    /// Next event in global key order, merging the queue with the held
+    /// buffer (events popped past a previous `run_hosts_until` limit).
+    /// Keys are unique, so the merge is a strict total order.
+    fn pop_next(&mut self) -> Option<(EventKey, Event)> {
+        let popped = self.queue.pop_keyed();
+        let held_first = match (self.held.front(), &popped) {
+            (Some((hk, _)), Some((pk, _))) => hk < pk,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if !held_first {
+            return popped;
+        }
+        if let Some((pk, pev)) = popped {
+            let pos = self
+                .held
+                .iter()
+                .position(|(hk, _)| *hk > pk)
+                .unwrap_or(self.held.len());
+            self.held.insert(pos, (pk, pev));
+        }
+        self.held.pop_front()
     }
 
     /// Run to completion and return the report.
@@ -561,49 +1899,10 @@ impl Simulator {
     /// Run to completion, also returning the number of events processed
     /// (the `sim_engine` bench divides by wall-clock for events/sec).
     pub fn run_counted(mut self) -> (SimReport, u64) {
-        while let Some((t, ev)) = self.pop_next() {
-            debug_assert!(t >= self.now, "time went backwards");
-            self.now = t;
-            self.events_processed += 1;
-            self.handle(ev);
+        while let Some((key, ev)) = self.pop_next() {
+            self.dispatch(key, ev);
         }
-        if self.attack_active {
-            self.attack_active_total += self.now - self.attack_active_since;
-        }
-        self.stats.backoff_skips = self.hcas.iter().map(|h| h.backoff_skips).sum();
-        self.stats.attack_active_fraction = if self.now > 0 {
-            self.attack_active_total as f64 / self.now.min(self.cfg.duration) as f64
-        } else {
-            0.0
-        };
-        (self.stats, self.events_processed)
-    }
-
-    /// Next event in time order, merging the queue with the held buffer
-    /// (events popped past a previous `run_hosts_until` limit). At equal
-    /// times a held event wins over a freshly popped one: it left the
-    /// queue first, so it carries the earlier sequence number.
-    fn pop_next(&mut self) -> Option<(SimTime, Event)> {
-        let popped = self.queue.pop();
-        let held_first = match (self.held.front(), &popped) {
-            (Some((ht, _)), Some((pt, _))) => ht <= pt,
-            (Some(_), None) => true,
-            (None, _) => false,
-        };
-        if !held_first {
-            return popped;
-        }
-        if let Some((pt, pev)) = popped {
-            // The fresh pop is newer than every held entry, so at equal
-            // times it files after them.
-            let pos = self
-                .held
-                .iter()
-                .position(|(ht, _)| *ht > pt)
-                .unwrap_or(self.held.len());
-            self.held.insert(pos, (pt, pev));
-        }
-        self.held.pop_front()
+        (self.core.merged_report(), self.core.events_processed())
     }
 
     // ------------------------------------------------------------- host hook
@@ -625,59 +1924,30 @@ impl Simulator {
     /// queueing behind it — the property that keeps failover and
     /// re-keying latency bounded under load.
     pub fn post_host(&mut self, src: usize, dst: usize, vl: u8, bytes: Vec<u8>) {
-        self.next_packet_id += 1;
-        self.stats.generated += 1;
-        let pkey = PKey(0x8000 | (self.node_partition[src] as u16 + 1));
-        let class = if vl == 15 {
-            TrafficClass::Management
-        } else {
-            TrafficClass::BestEffort
-        };
-        let packet = SimPacket {
-            id: self.next_packet_id,
-            src,
-            dst,
-            class,
-            pkey,
-            vl,
-            bytes: bytes.len(),
-            gen_time: self.now,
-            inject_time: 0,
-            trap: None,
-            icrc: 0,
-            corrupted: false,
-            wire: Some(bytes),
-            flow: None,
-        };
-        let qvl = vl as usize;
-        let pref = self.packets.insert(packet);
-        self.hcas[src].send_q[qvl].push_back((pref, self.now));
-        self.schedule_inject(src, self.now);
+        let now = self.now;
+        self.core.post_host_at(now, src, dst, vl, bytes);
+        self.drain_staged();
     }
 
     /// Advance the simulation until a host delivery is ready, the event
     /// horizon `limit` is reached, or the queue drains — whichever comes
     /// first. Returns the new simulation time, which never exceeds the
     /// first pending delivery's time and never regresses. An event popped
-    /// past `limit` is held (the calendar queue has no peek) and re-merged
-    /// by [`pop_next`](Self::pop_next) on the next call.
+    /// past `limit` is held and re-merged by `pop_next` on the next call.
     pub fn run_hosts_until(&mut self, limit: SimTime) -> SimTime {
         while self.host_inbox.is_empty() {
-            let Some((t, ev)) = self.pop_next() else {
+            let Some((key, ev)) = self.pop_next() else {
                 self.now = self.now.max(limit);
                 break;
             };
-            if t > limit {
-                // `(t, ev)` is the global minimum right now, so it
-                // precedes everything already held.
-                self.held.push_front((t, ev));
+            if key.time > limit {
+                // This key is the global minimum right now, so it precedes
+                // everything already held.
+                self.held.push_front((key, ev));
                 self.now = self.now.max(limit);
                 break;
             }
-            debug_assert!(t >= self.now, "time went backwards");
-            self.now = t;
-            self.events_processed += 1;
-            self.handle(ev);
+            self.dispatch(key, ev);
         }
         self.now
     }
@@ -694,30 +1964,30 @@ impl Simulator {
 
     /// Events handled so far (the scale experiments' cost denominator).
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.core.events_processed()
     }
 
     /// The report accumulated so far (final numbers come from
     /// [`run`](Self::run); this view serves co-simulation drivers).
-    pub fn stats(&self) -> &SimReport {
-        &self.stats
+    pub fn stats(&self) -> SimReport {
+        self.core.merged_report()
     }
 
     /// The attacker node indices this seed selected.
     pub fn attacker_nodes(&self) -> &[usize] {
-        &self.attackers
+        &self.core.shared.attackers
     }
 
     /// The fabric this simulator runs on.
     pub fn topology(&self) -> &dyn Topology {
-        &*self.topo
+        &*self.core.shared.topo
     }
 
     /// High-water mark of in-flight packets — a deterministic peak-memory
     /// proxy (multiply by `size_of::<SimPacket>()` for bytes; same number
-    /// on every same-seed run, unlike RSS).
+    /// on every same-seed run and at every thread count, unlike RSS).
     pub fn peak_packets(&self) -> usize {
-        self.packets.capacity()
+        self.core.peak_packets()
     }
 
     /// Post a finite `bytes`-sized transfer from `src` to `dst`: the flow
@@ -729,791 +1999,15 @@ impl Simulator {
     /// at `dst`'s HCA; cross-partition flows never complete (the receive
     /// P_Key check blocks them), so scale experiments run one partition.
     pub fn post_flow(&mut self, src: usize, dst: usize, bytes: u64) -> usize {
-        assert!(src < self.n_nodes && dst < self.n_nodes && src != dst);
-        let flow = self.flows.len() as u32;
-        let mtu = self.cfg.mtu_bytes as u64;
-        let npkts = bytes.div_ceil(mtu).max(1) as usize;
-        let pkey = PKey(0x8000 | (self.node_partition[src] as u16 + 1));
-        let mut left = bytes;
-        for _ in 0..npkts {
-            let size = left.min(mtu).max(1) as usize;
-            left = left.saturating_sub(mtu);
-            self.next_packet_id += 1;
-            self.stats.generated += 1;
-            let mut packet = SimPacket {
-                id: self.next_packet_id,
-                src,
-                dst,
-                class: TrafficClass::BestEffort,
-                pkey,
-                vl: TrafficClass::BestEffort.vl(),
-                bytes: size,
-                gen_time: self.now,
-                inject_time: 0,
-                trap: None,
-                icrc: 0,
-                corrupted: false,
-                wire: None,
-                flow: Some(flow),
-            };
-            if self.faults.is_some() {
-                packet.icrc = wire_icrc(&mut self.wire_scratch, &packet);
-            }
-            let vl = packet.vl as usize;
-            let pref = self.packets.insert(packet);
-            self.hcas[src].send_q[vl].push_back((pref, self.now));
-        }
-        self.schedule_inject(src, self.now);
-        self.flows.push(FlowRecord {
-            src,
-            dst,
-            bytes,
-            posted_at: self.now,
-            completed_at: None,
-            remaining: npkts,
-        });
-        flow as usize
+        let now = self.now;
+        let flow = self.core.post_flow_at(now, src, dst, bytes);
+        self.drain_staged();
+        flow
     }
 
     /// Flow records in posting order (see [`post_flow`](Self::post_flow)).
     pub fn flows(&self) -> &[FlowRecord] {
-        &self.flows
-    }
-
-    fn handle(&mut self, ev: Event) {
-        match ev {
-            Event::Generate { node, class } => self.on_generate(node, class),
-            Event::TryInject { node } => self.on_try_inject(node),
-            Event::SwitchArrive {
-                switch,
-                port,
-                packet,
-            } => self.on_switch_arrive(switch, port, packet),
-            Event::TryForward { switch, port } => self.on_try_forward(switch, port),
-            Event::HcaReceive { node, packet } => self.on_hca_receive(node, packet),
-            Event::SwitchCredit { switch, port, vl } => {
-                self.switches[switch].out_credits[port][vl as usize] += 1;
-                self.schedule_forward(switch, port, self.now);
-            }
-            Event::HcaCredit { node, vl } => {
-                self.hcas[node].credits[vl as usize] += 1;
-                self.schedule_inject(node, self.now);
-            }
-            Event::TrapDeliver { trap } => {
-                self.stats.traps += 1;
-                if let Some(action) = self.sm.handle_trap(&trap) {
-                    self.queue.push(
-                        self.now + self.cfg.program_latency,
-                        Event::FilterProgram {
-                            switch: action.switch,
-                            port: action.port,
-                            pkey: action.pkey,
-                        },
-                    );
-                }
-            }
-            Event::FilterProgram { switch, port, pkey } => {
-                self.switches[switch]
-                    .enforcement
-                    .register_invalid(self.now, port, pkey);
-            }
-            Event::AttackEpoch => self.on_attack_epoch(),
-        }
-    }
-
-    // ---------------------------------------------------------------- traffic
-
-    fn on_generate(&mut self, node: usize, class: TrafficClass) {
-        match class {
-            // Management traffic is event-driven (traps), never a source.
-            TrafficClass::Management => {}
-            TrafficClass::Realtime => {
-                let gap = self.cfg.interarrival_ps(self.cfg.traffic.realtime_load) as SimTime;
-                if self.now + gap <= self.cfg.duration {
-                    self.queue
-                        .push(self.now + gap, Event::Generate { node, class });
-                }
-                // Back-off: a realtime source checks network headroom via
-                // its local queue depth before emitting.
-                let vl = class.vl() as usize;
-                if self.hcas[node].send_q[vl].len() >= self.cfg.traffic.realtime_backoff_queue {
-                    self.hcas[node].backoff_skips += 1;
-                    return;
-                }
-                if let Some(dst) = self.pick_partition_peer(node) {
-                    self.emit(node, dst, class);
-                }
-            }
-            TrafficClass::BestEffort => {
-                let mean = self.cfg.interarrival_ps(self.cfg.traffic.best_effort_load);
-                let gap = exp_gap(&mut self.rng, mean);
-                if self.now + gap <= self.cfg.duration {
-                    self.queue
-                        .push(self.now + gap, Event::Generate { node, class });
-                }
-                if let Some(dst) = self.pick_partition_peer(node) {
-                    self.emit(node, dst, class);
-                }
-            }
-            TrafficClass::Attack => {
-                if !self.attack_active || self.now > self.cfg.duration {
-                    return; // epoch ended: the chain stops
-                }
-                // Full speed: next generation exactly one MTU time later.
-                self.queue
-                    .push(self.now + self.mtu_tx, Event::Generate { node, class });
-                // Bound the attacker's own backlog so an over-driven source
-                // doesn't consume unbounded memory (its queue depth is not a
-                // measured quantity).
-                let backlog: usize = self.hcas[node].send_q.iter().map(VecDeque::len).sum();
-                if backlog >= 32 {
-                    return;
-                }
-                match self.cfg.attack_keys {
-                    AttackKeys::RandomInvalid => {
-                        let n = self.n_nodes;
-                        let mut dst = self.rng.gen_range(0..n);
-                        if dst == node {
-                            dst = (dst + 1) % n;
-                        }
-                        let idx = self.attackers.iter().position(|a| *a == node).unwrap_or(0);
-                        let pkey = self.attacker_pkey[idx];
-                        self.emit_with_pkey(node, dst, class, pkey);
-                    }
-                    // §7's residual attack: flood *within the attacker's own
-                    // partition* with its valid key — every check passes, so
-                    // "any ingress filtering is useless".
-                    AttackKeys::Valid => {
-                        if let Some(dst) = self.pick_partition_peer(node) {
-                            let pkey = PKey(0x8000 | (self.node_partition[node] as u16 + 1));
-                            self.emit_with_pkey(node, dst, class, pkey);
-                        }
-                    }
-                    // §7's SM DoS: dump MAD-sized management packets at the
-                    // SM node on VL15 — they cross every partition check.
-                    AttackKeys::SmFlood => {
-                        let dst = self.cfg.sm_node;
-                        if dst != node {
-                            self.emit_management(node, dst, TrafficClass::Attack, None);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn pick_partition_peer(&mut self, node: usize) -> Option<usize> {
-        let members = &self.partitions[self.node_partition[node]];
-        // Peers exclude only self: victims don't know which partition
-        // members are compromised, so attacker nodes still *receive*
-        // legitimate traffic (they just don't send any, per §3.1).
-        let candidates: Vec<usize> = members.iter().copied().filter(|m| *m != node).collect();
-        if candidates.is_empty() {
-            None
-        } else {
-            Some(candidates[self.rng.gen_range(0..candidates.len())])
-        }
-    }
-
-    fn emit(&mut self, src: usize, dst: usize, class: TrafficClass) {
-        let pkey = PKey(0x8000 | (self.node_partition[src] as u16 + 1));
-        self.emit_with_pkey(src, dst, class, pkey);
-    }
-
-    fn emit_with_pkey(&mut self, src: usize, dst: usize, class: TrafficClass, pkey: PKey) {
-        self.next_packet_id += 1;
-        self.stats.generated += 1;
-        // Attackers spray across both data VLs ("dump tremendous traffic")
-        // so realtime and best-effort both feel the flood; legitimate
-        // traffic stays on its class VL.
-        let vl = if class == TrafficClass::Attack {
-            self.rng.gen_range(0..2)
-        } else {
-            class.vl()
-        };
-        let mut packet = SimPacket {
-            id: self.next_packet_id,
-            src,
-            dst,
-            class,
-            pkey,
-            vl,
-            bytes: self.cfg.mtu_bytes,
-            gen_time: self.now,
-            inject_time: 0,
-            trap: None,
-            icrc: 0,
-            corrupted: false,
-            wire: None,
-            flow: None,
-        };
-        // Emission-time ICRC — only consulted when the fault layer can
-        // corrupt packets in transit, so fault-free runs skip it.
-        if self.faults.is_some() {
-            packet.icrc = wire_icrc(&mut self.wire_scratch, &packet);
-        }
-        // QP-level key management: first contact with a peer pays one RTT
-        // before the packet may leave (§4.3 / Figure 6).
-        let ready = if self.cfg.auth == AuthMode::QpLevel
-            && class != TrafficClass::Attack
-            && !self.hcas[src].keyed_peers[dst]
-        {
-            self.hcas[src].keyed_peers[dst] = true;
-            self.now + self.cfg.key_exchange_rtt
-        } else {
-            self.now
-        };
-        let vl = packet.vl as usize;
-        let pref = self.packets.insert(packet);
-        self.hcas[src].send_q[vl].push_back((pref, ready));
-        self.schedule_inject(src, ready);
-    }
-
-    /// Emit a 256-byte MAD (+ headers) on VL15. `class` distinguishes
-    /// legitimate management traffic from an SM flood; `trap` carries the
-    /// notice for in-band trap delivery.
-    fn emit_management(
-        &mut self,
-        src: usize,
-        dst: usize,
-        class: TrafficClass,
-        trap: Option<ib_mgmt::trap::Trap>,
-    ) {
-        self.next_packet_id += 1;
-        self.stats.generated += 1;
-        let mut packet = SimPacket {
-            id: self.next_packet_id,
-            src,
-            dst,
-            class,
-            pkey: PKey::DEFAULT,
-            vl: 15,
-            // MAD payload + LRH/BTH/DETH + ICRC/VCRC.
-            bytes: ib_packet::mad::MAD_LEN + 8 + 12 + 8 + 6,
-            gen_time: self.now,
-            inject_time: 0,
-            trap,
-            icrc: 0,
-            corrupted: false,
-            wire: None,
-            flow: None,
-        };
-        if self.faults.is_some() {
-            packet.icrc = wire_icrc(&mut self.wire_scratch, &packet);
-        }
-        let pref = self.packets.insert(packet);
-        self.hcas[src].send_q[15].push_back((pref, self.now));
-        self.schedule_inject(src, self.now);
-    }
-
-    // ---------------------------------------------------------------- HCA TX
-
-    fn schedule_inject(&mut self, node: usize, at: SimTime) {
-        if !self.hcas[node].inject_pending {
-            self.hcas[node].inject_pending = true;
-            self.queue.push(at.max(self.now), Event::TryInject { node });
-        }
-    }
-
-    fn on_try_inject(&mut self, node: usize) {
-        self.hcas[node].inject_pending = false;
-        let hca = &mut self.hcas[node];
-        if self.now < hca.tx_busy_until {
-            let at = hca.tx_busy_until;
-            self.schedule_inject(node, at);
-            return;
-        }
-        // VL priority: scan data VLs from highest to lowest.
-        let mut chosen: Option<usize> = None;
-        let mut earliest_block: Option<SimTime> = None;
-        for vl in (0..self.cfg.num_vls).rev() {
-            let Some(&(_, ready)) = self.hcas[node].send_q[vl].front() else {
-                continue;
-            };
-            if ready > self.now {
-                earliest_block = Some(earliest_block.map_or(ready, |e: SimTime| e.min(ready)));
-                continue;
-            }
-            if self.hcas[node].credits[vl] == 0 {
-                continue; // blocked on credits; a credit event will retry
-            }
-            chosen = Some(vl);
-            break;
-        }
-        let Some(vl) = chosen else {
-            if let Some(at) = earliest_block {
-                self.schedule_inject(node, at);
-            }
-            return;
-        };
-        let (pref, _) = self.hcas[node].send_q[vl].pop_front().unwrap();
-        self.hcas[node].credits[vl] -= 1;
-        // MAC generation occupies the sender before the first byte (§6:
-        // "one additional stage at each end node per message").
-        let start = self.now + self.auth_delay;
-        let (bytes, class, pvl) = {
-            let packet = self.packets.get_mut(pref);
-            packet.inject_time = start;
-            (packet.bytes, packet.class, packet.vl)
-        };
-        let tx_end = start + tx_time_ps(bytes, self.cfg.link_gbps);
-        self.hcas[node].tx_busy_until = tx_end;
-        let arrival = tx_end + self.cfg.propagation_delay;
-        match self.link_fault(node) {
-            FaultOutcome::Drop => {
-                // The switch never sees the packet, so it can't return the
-                // buffer credit — model the slot as freeing on arrival.
-                self.stats.link_drops += 1;
-                self.class_stats(class).dropped += 1;
-                self.packets.release(pref);
-                self.queue.push(arrival, Event::HcaCredit { node, vl: pvl });
-            }
-            FaultOutcome::Deliver {
-                corrupt,
-                extra_delay_ps,
-            } => {
-                self.packets.get_mut(pref).corrupted |= corrupt;
-                let (att_sw, att_port) = self.attach[node];
-                self.queue.push(
-                    arrival + extra_delay_ps,
-                    Event::SwitchArrive {
-                        switch: att_sw,
-                        port: att_port,
-                        packet: pref,
-                    },
-                );
-            }
-        }
-        // Re-evaluate once the link frees.
-        self.schedule_inject(node, tx_end);
-    }
-
-    // ------------------------------------------------------------- switching
-
-    fn on_switch_arrive(&mut self, switch: usize, port: usize, pref: PacketRef) {
-        let (pvl, src, dst, pkey, class) = {
-            let packet = self.packets.get(pref);
-            (packet.vl, packet.src, packet.dst, packet.pkey, packet.class)
-        };
-        let is_edge = self.is_host_port[switch * self.radix + port];
-        // Management packets cross partition enforcement unchecked — "a
-        // management packet can reach SM regardless of its partition" (§7),
-        // which is precisely what makes the SM-flood attack possible.
-        let check = if pvl == 15 {
-            ib_mgmt::enforcement::FilterCheck {
-                decision: FilterDecision::Pass,
-                lookup_cycles: 0,
-            }
-        } else {
-            self.switches[switch].enforcement.check(
-                self.now,
-                port,
-                is_edge,
-                self.topo.lid_of(src),
-                pkey,
-            )
-        };
-        self.stats.lookup_cycles += check.lookup_cycles;
-        if check.decision == FilterDecision::Drop {
-            self.stats.filter_drops += 1;
-            self.class_stats(class).dropped += 1;
-            self.packets.release(pref);
-            self.return_credit(switch, port, pvl);
-            return;
-        }
-        let vl = pvl as usize;
-        let out_port = self.topo.route_flow(switch, dst, flow_hash(src, dst));
-        self.switches[switch].in_q[port][vl].push_back(QueuedPacket {
-            packet: pref,
-            lookup_cycles: check.lookup_cycles,
-        });
-        self.schedule_forward(switch, out_port, self.now + self.cfg.switch_latency);
-    }
-
-    fn schedule_forward(&mut self, switch: usize, port: usize, at: SimTime) {
-        if !self.switches[switch].forward_pending[port] {
-            self.switches[switch].forward_pending[port] = true;
-            self.queue
-                .push(at.max(self.now), Event::TryForward { switch, port });
-        }
-    }
-
-    fn on_try_forward(&mut self, switch: usize, out_port: usize) {
-        self.switches[switch].forward_pending[out_port] = false;
-        if self.now < self.switches[switch].out_busy_until[out_port] {
-            let at = self.switches[switch].out_busy_until[out_port];
-            self.schedule_forward(switch, out_port, at);
-            return;
-        }
-        let peer = self.topo.peer(switch, out_port);
-        // Crossing the topology's dateline escalates data packets to the
-        // next VL — the per-(port, VL) buffers double as the virtual
-        // channels that break credit-deadlock cycles (dragonfly global
-        // links; a no-op on mesh and fat-tree). VL15 management never
-        // escalates.
-        let dateline = self.is_dateline[switch * self.radix + out_port];
-        let out_vl = move |vl: usize| if dateline && vl < 8 { vl + 1 } else { vl };
-        // Arbitrate: find the best candidate per VL (round-robin over input
-        // ports within a VL), then apply the VL arbitration policy.
-        let nports = self.radix;
-        let mut best_high: Option<(usize, usize)> = None; // highest VL > 0
-        let mut best_low: Option<(usize, usize)> = None; // VL 0
-        for vl in (0..self.cfg.num_vls).rev() {
-            if vl > 0 && best_high.is_some() {
-                continue;
-            }
-            if vl == 0 && best_low.is_some() {
-                continue;
-            }
-            // Credit check applies to switch-to-switch hops; HCA receive
-            // buffers are modeled as ample (the HCA drains at line rate).
-            if let Peer::Switch { .. } = peer {
-                if self.switches[switch].out_credits[out_port][out_vl(vl)] == 0 {
-                    continue;
-                }
-            }
-            let start = self.switches[switch].rr[out_port];
-            for k in 0..nports {
-                let in_port = (start + k) % nports;
-                if let Some(head) = self.switches[switch].in_q[in_port][vl].front() {
-                    if self.route_of(switch, head.packet) == out_port {
-                        if vl > 0 {
-                            best_high = Some((in_port, vl));
-                        } else {
-                            best_low = Some((in_port, vl));
-                        }
-                        break;
-                    }
-                }
-            }
-        }
-        let selected = match (self.cfg.arbitration, best_high, best_low) {
-            (_, None, low) => low,
-            (ArbitrationPolicy::StrictPriority, high, _) => high,
-            (ArbitrationPolicy::Weighted { high_limit }, high, low) => {
-                // IBA-style weighted tables: after `high_limit` consecutive
-                // high-priority grants, a pending low-priority packet gets
-                // one slot (prevents total starvation of VL0).
-                if self.switches[switch].high_grants[out_port] >= high_limit && low.is_some() {
-                    low
-                } else {
-                    high
-                }
-            }
-        };
-        let Some((in_port, vl)) = selected else {
-            return;
-        };
-        if vl > 0 {
-            self.switches[switch].high_grants[out_port] += 1;
-        } else {
-            self.switches[switch].high_grants[out_port] = 0;
-        }
-        self.switches[switch].rr[out_port] = (in_port + 1) % nports;
-        let qp = self.switches[switch].in_q[in_port][vl].pop_front().unwrap();
-        let pref = qp.packet;
-        let (bytes, class) = {
-            let packet = self.packets.get(pref);
-            (packet.bytes, packet.class)
-        };
-        // Service time: enforcement lookups + store-and-forward transmit.
-        let service =
-            qp.lookup_cycles * self.cfg.cycle_time + tx_time_ps(bytes, self.cfg.link_gbps);
-        let tx_end = self.now + service;
-        self.switches[switch].out_busy_until[out_port] = tx_end;
-        match peer {
-            Peer::Switch {
-                switch: next,
-                port: next_port,
-            } => {
-                // The downstream buffer class is the (possibly escalated)
-                // VL: credits, the arrival queue, and the credit-return on
-                // a wire drop must all agree on it.
-                let fvl = out_vl(vl);
-                self.switches[switch].out_credits[out_port][fvl] -= 1;
-                let arrival = tx_end + self.cfg.propagation_delay;
-                match self.link_fault(self.switch_link(switch, out_port)) {
-                    FaultOutcome::Drop => {
-                        // Downstream never sees the packet; its buffer slot
-                        // credit comes back as if freed on arrival.
-                        self.stats.link_drops += 1;
-                        self.class_stats(class).dropped += 1;
-                        self.packets.release(pref);
-                        self.queue.push(
-                            arrival,
-                            Event::SwitchCredit {
-                                switch,
-                                port: out_port,
-                                vl: fvl as u8,
-                            },
-                        );
-                    }
-                    FaultOutcome::Deliver {
-                        corrupt,
-                        extra_delay_ps,
-                    } => {
-                        let packet = self.packets.get_mut(pref);
-                        packet.corrupted |= corrupt;
-                        packet.vl = fvl as u8;
-                        self.queue.push(
-                            arrival + extra_delay_ps,
-                            Event::SwitchArrive {
-                                switch: next,
-                                port: next_port,
-                                packet: pref,
-                            },
-                        );
-                    }
-                }
-            }
-            Peer::Hca { node } => {
-                let arrival = tx_end + self.cfg.propagation_delay;
-                match self.link_fault(self.switch_link(switch, out_port)) {
-                    FaultOutcome::Drop => {
-                        self.stats.link_drops += 1;
-                        self.class_stats(class).dropped += 1;
-                        self.packets.release(pref);
-                    }
-                    FaultOutcome::Deliver {
-                        corrupt,
-                        extra_delay_ps,
-                    } => {
-                        self.packets.get_mut(pref).corrupted |= corrupt;
-                        self.queue.push(
-                            arrival + extra_delay_ps,
-                            Event::HcaReceive { node, packet: pref },
-                        );
-                    }
-                }
-            }
-            Peer::None => unreachable!("routing never selects an edge port"),
-        }
-        // The input buffer slot frees now: return a credit upstream.
-        self.return_credit(switch, in_port, vl as u8);
-        // The queue we popped from has a new head that may want a
-        // *different* output port — wake that port, or packets behind a
-        // departed head would wait for an unrelated arrival (HOL stall).
-        let next_out = self.switches[switch].in_q[in_port][vl]
-            .front()
-            .map(|next| self.route_of(switch, next.packet));
-        if let Some(next_out) = next_out {
-            if next_out != out_port {
-                self.schedule_forward(switch, next_out, self.now);
-            }
-        }
-        // The port may have more work the instant it frees.
-        self.schedule_forward(switch, out_port, tx_end);
-    }
-
-    /// Return one credit to whatever feeds `(switch, in_port)`.
-    fn return_credit(&mut self, switch: usize, in_port: usize, vl: u8) {
-        let at = self.now + self.cfg.propagation_delay;
-        match self.topo.peer(switch, in_port) {
-            Peer::Hca { node } => self.queue.push(at, Event::HcaCredit { node, vl }),
-            Peer::Switch {
-                switch: up,
-                port: up_port,
-            } => self.queue.push(
-                at,
-                Event::SwitchCredit {
-                    switch: up,
-                    port: up_port,
-                    vl,
-                },
-            ),
-            Peer::None => {}
-        }
-    }
-
-    // ------------------------------------------------------------- receiving
-
-    fn on_hca_receive(&mut self, node: usize, pref: PacketRef) {
-        // Host-injected packets skip the abstract receive path entirely:
-        // the wire image goes back to the host, with transit corruption
-        // applied as a byte flip (mirroring the point-to-point harness),
-        // for the host transport's own VCRC/MAC verification to judge.
-        if self.packets.get(pref).wire.is_some() {
-            let packet = self.packets.release(pref);
-            let mut bytes = packet.wire.unwrap();
-            if packet.corrupted && !bytes.is_empty() {
-                let mid = bytes.len() / 2;
-                bytes[mid] ^= 0xFF;
-            }
-            if packet.vl == 15 {
-                self.stats.mgmt_delivered += 1;
-            }
-            self.host_inbox.push_back(HostDelivery {
-                at: self.now,
-                node,
-                bytes,
-            });
-            return;
-        }
-        // CRC check before anything else looks at the packet (VCRC/ICRC
-        // precede all header processing). Untouched packets re-render
-        // bit-identically by construction, so their cached emission-time
-        // ICRC is authoritative and verification is skipped; only packets
-        // the fault layer flipped in transit get the full re-render —
-        // with the transit bit flip — recompute, and compare against the
-        // CRC stamped at emission.
-        if self.packets.get(pref).corrupted {
-            render_wire_image(&mut self.wire_scratch, self.packets.get(pref));
-            let mid = self.wire_scratch.len() / 2;
-            self.wire_scratch[mid] ^= 0xFF;
-            let mut crc = Crc32::new();
-            crc.update_slice8(&self.wire_scratch);
-            if crc.finalize() != self.packets.get(pref).icrc {
-                self.stats.corrupt_drops += 1;
-                let class = self.packets.release(pref).class;
-                self.class_stats(class).dropped += 1;
-                return;
-            }
-        }
-        // The HCA is the packet's terminal point on every path below:
-        // take it out of the arena and recycle the slot.
-        let packet = self.packets.release(pref);
-        // Management datagrams: no partition check, no data statistics.
-        if packet.vl == 15 {
-            self.stats.mgmt_delivered += 1;
-            if node == self.cfg.sm_node {
-                if let Some(trap) = packet.trap {
-                    // In-band trap reached the SM: same handling as the
-                    // out-of-band TrapDeliver path.
-                    self.handle(Event::TrapDeliver { trap });
-                }
-                // Trap-less VL15 packets at the SM are the §7 flood: they
-                // consumed fabric + SM capacity and are dropped here.
-            }
-            return;
-        }
-        // MAC verification stage at the receiver.
-        let delivered_at = self.now + self.auth_delay;
-        let (ok, _) = self.hcas[node].table.check(packet.pkey);
-        if !ok {
-            self.stats.hca_blocked += 1;
-            // Receive-side P_Key violation: maybe raise a trap (§3.3).
-            let reporter = self.topo.lid_of(node);
-            let violator = self.topo.lid_of(packet.src);
-            if let Some(trap) =
-                self.hcas[node]
-                    .throttle
-                    .offer(self.now, reporter, packet.pkey, violator)
-            {
-                match self.cfg.trap_transport {
-                    crate::config::TrapTransport::OutOfBand => {
-                        self.queue.push(
-                            self.now + self.cfg.trap_latency,
-                            Event::TrapDeliver { trap },
-                        );
-                    }
-                    crate::config::TrapTransport::InBand => {
-                        let sm = self.cfg.sm_node;
-                        if sm == node {
-                            self.handle(Event::TrapDeliver { trap });
-                        } else {
-                            self.emit_management(node, sm, TrafficClass::Management, Some(trap));
-                        }
-                    }
-                }
-            }
-            return;
-        }
-        if packet.class == TrafficClass::Attack {
-            // Valid-key floods land here; count them, keep them out of the
-            // legitimate-traffic statistics.
-            self.stats.attack.delivered += 1;
-            return;
-        }
-        if let Some(flow) = packet.flow {
-            let rec = &mut self.flows[flow as usize];
-            rec.remaining -= 1;
-            if rec.remaining == 0 {
-                rec.completed_at = Some(delivered_at);
-            }
-        }
-        if packet.gen_time >= self.cfg.warmup {
-            let queuing = packet.inject_time - packet.gen_time;
-            let network = delivered_at - packet.inject_time;
-            self.class_stats(packet.class).record(queuing, network);
-        }
-    }
-
-    fn class_stats(&mut self, class: TrafficClass) -> &mut ClassStats {
-        match class {
-            TrafficClass::Realtime => &mut self.stats.realtime,
-            // Management shares the attack bucket for drop accounting; its
-            // deliveries are tracked separately in `mgmt_delivered`.
-            TrafficClass::BestEffort => &mut self.stats.best_effort,
-            TrafficClass::Attack | TrafficClass::Management => &mut self.stats.attack,
-        }
-    }
-
-    // ---------------------------------------------------------------- attack
-
-    /// The deterministic duty-cycle window: starts one warmup past warmup,
-    /// lasts `attack_probability × duration`.
-    fn duty_window(&self) -> (SimTime, SimTime) {
-        let len =
-            (self.cfg.attack_probability.clamp(0.0, 1.0) * self.cfg.duration as f64) as SimTime;
-        let start = (self.cfg.warmup * 2).min(self.cfg.duration.saturating_sub(len));
-        (start, start + len)
-    }
-
-    fn set_attack_active(&mut self, active: bool) {
-        match (self.attack_active, active) {
-            (false, true) => {
-                self.attack_active = true;
-                self.attack_active_since = self.now;
-                let attackers = self.attackers.clone();
-                for a in attackers {
-                    self.queue.push(
-                        self.now,
-                        Event::Generate {
-                            node: a,
-                            class: TrafficClass::Attack,
-                        },
-                    );
-                }
-            }
-            (true, false) => {
-                self.attack_active = false;
-                self.attack_active_total += self.now - self.attack_active_since;
-            }
-            _ => {}
-        }
-    }
-
-    fn on_attack_epoch(&mut self) {
-        match self.cfg.attack_schedule {
-            crate::config::AttackSchedule::Probabilistic => {
-                if self.now > self.cfg.duration {
-                    self.set_attack_active(false);
-                    return;
-                }
-                let roll = self
-                    .rng
-                    .gen_bool(self.cfg.attack_probability.clamp(0.0, 1.0));
-                self.set_attack_active(roll);
-                self.queue
-                    .push(self.now + self.cfg.attack_epoch, Event::AttackEpoch);
-            }
-            crate::config::AttackSchedule::DutyCycle => {
-                let (start, end) = self.duty_window();
-                let active = self.now >= start && self.now < end;
-                self.set_attack_active(active);
-                // Next transition: the window edge still ahead of us.
-                let next = if self.now < start {
-                    Some(start)
-                } else if self.now < end {
-                    Some(end)
-                } else {
-                    None
-                };
-                if let Some(at) = next {
-                    self.queue.push(at, Event::AttackEpoch);
-                }
-            }
-        }
+        &self.core.flows
     }
 }
 
@@ -1529,7 +2023,6 @@ mod tests {
             ..SimConfig::default()
         }
     }
-
     #[test]
     fn baseline_delivers_traffic() {
         let report = Simulator::new(quick_cfg()).run();
@@ -1568,7 +2061,7 @@ mod tests {
         cfg.traffic.best_effort_load = 0.0;
         let mut sim = Simulator::new(cfg);
         let payload: Vec<u8> = (0..300u32).map(|i| (i * 7) as u8).collect();
-        let dst = sim.topo.num_switches() - 1;
+        let dst = sim.topology().num_nodes() - 1;
         sim.post_host(0, dst, 1, payload.clone());
         let t = sim.run_hosts_until(SimTime::MAX);
         let d = sim.take_host_delivery().expect("delivery");
@@ -2021,5 +2514,21 @@ mod tests {
         assert!((back.legit_queuing_mean() - report.legit_queuing_mean()).abs() < 1e-12);
         assert!((back.legit_queuing_stddev() - report.legit_queuing_stddev()).abs() < 1e-12);
         assert_eq!(back.attack_active_fraction, report.attack_active_fraction);
+    }
+
+    #[test]
+    fn attack_fraction_reflects_duty_cycle() {
+        // The precomputed DutyCycle window covers attack_probability of the
+        // configured duration, and the report's fraction says exactly that.
+        let mut cfg = quick_cfg();
+        cfg.num_attackers = 1;
+        cfg.attack_schedule = AttackSchedule::DutyCycle;
+        cfg.attack_probability = 0.5;
+        let report = Simulator::new(cfg).run();
+        assert!(
+            (report.attack_active_fraction - 0.5).abs() < 0.01,
+            "fraction {}",
+            report.attack_active_fraction
+        );
     }
 }

@@ -15,7 +15,7 @@
 //! * the priority structure orders only 20-byte [`EventKey`]s — a
 //!   calendar queue (Brown, CACM 1988): a bucketed timing wheel for the
 //!   near future plus a binary-heap overflow for far-future events
-//!   (attack-epoch toggles, key-exchange RTTs, end-of-run timers).
+//!   (attack-window starts, key-exchange RTTs, end-of-run timers).
 //!
 //! With event inter-arrival times well under a bucket width, push is O(1)
 //! and pop scans one small bucket — amortized O(1) against the heap's
@@ -23,13 +23,23 @@
 //!
 //! ## Determinism contract
 //!
-//! Ties in time break by insertion sequence (`seq`), so runs with the
-//! same seed replay identically — the hard correctness contract behind
-//! every `BENCH_fig*.json` byte-identity gate. [`EventKey`] derives its
+//! Ties in time break by `seq`, so runs with the same seed replay
+//! identically — the hard correctness contract behind every
+//! `BENCH_fig*.json` byte-identity gate. [`EventKey`] derives its
 //! lexicographic `(time, seq, idx)` order (`seq` is unique, so `idx`
 //! never decides), and both schedulers — the calendar [`EventQueue`] and
 //! the reference [`HeapQueue`] oracle — pop the exact same key stream for
 //! the same pushes, a property enforced by `tests/event_scheduler.rs`.
+//!
+//! `seq` comes in two flavours. The legacy [`EventQueue::push`] assigns a
+//! per-queue insertion counter — fine for a single global queue. The
+//! sharded engine instead composes an *intrinsic* key via
+//! [`EventQueue::push_keyed`]: `seq = origin_entity_id << 32 | oseq`,
+//! where `oseq` is a per-origin counter. Intrinsic keys are independent
+//! of which queue an event lands in and of arrival order, so the serial
+//! engine (one merged queue) and the parallel engine (one queue per event
+//! domain) pop identical per-domain `(time, seq)` streams — the
+//! foundation of the bit-identical-at-any-thread-count guarantee.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -123,8 +133,20 @@ pub enum Event {
         port: usize,
         pkey: PKey,
     },
-    /// Toggle the attackers between active and idle epochs.
-    AttackEpoch,
+    /// [`SwitchArrive`](Event::SwitchArrive) crossing an event-domain
+    /// boundary: the packet left the source domain's arena at emission and
+    /// rides in the event itself; the target domain inserts it into *its*
+    /// arena when the event is handled. Both engines use this path for
+    /// every cross-domain hop, so per-domain arena high-water marks are
+    /// identical serial vs parallel.
+    SwitchArriveRemote {
+        switch: usize,
+        port: usize,
+        packet: Box<SimPacket>,
+    },
+    /// [`HcaReceive`](Event::HcaReceive) crossing an event-domain
+    /// boundary (see [`SwitchArriveRemote`](Event::SwitchArriveRemote)).
+    HcaReceiveRemote { node: usize, packet: Box<SimPacket> },
 }
 
 /// Compact scheduling key: the only thing the priority structures move.
@@ -258,9 +280,20 @@ impl<T> EventQueue<T> {
     /// Schedule `event` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, event: T) {
         self.seq += 1;
+        let seq = self.seq;
+        self.push_keyed(at, seq, event);
+    }
+
+    /// Schedule `event` at `at` under a caller-composed tie-break `seq`
+    /// (the sharded engine's `origin << 32 | oseq` intrinsic keys). The
+    /// caller owns uniqueness of `(at, seq)` pairs; the internal
+    /// auto-sequence counter is untouched, so mixing `push` and
+    /// `push_keyed` on one queue is only sound if the key spaces are
+    /// disjoint.
+    pub fn push_keyed(&mut self, at: SimTime, seq: u64, event: T) {
         let key = EventKey {
             time: at,
-            seq: self.seq,
+            seq,
             idx: self.arena.insert(event),
         };
         self.len += 1;
@@ -283,15 +316,42 @@ impl<T> EventQueue<T> {
         }
     }
 
-    /// Pop the earliest event (ties by insertion order).
+    /// Pop the earliest event (ties by key order).
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.pop_keyed().map(|(key, ev)| (key.time, ev))
+    }
+
+    /// Pop the earliest event with its full scheduling key — the sharded
+    /// engine needs `(time, seq)` to merge and compare streams across
+    /// domain queues.
+    pub fn pop_keyed(&mut self) -> Option<(EventKey, T)> {
+        let (cursor, i) = self.locate_min()?;
+        let key = self.wheel[cursor].swap_remove(i);
+        self.in_wheel -= 1;
+        self.len -= 1;
+        let ev = self.arena.take(key.idx);
+        Some((key, ev))
+    }
+
+    /// The earliest pending key without removing it (`&mut` because the
+    /// scan may advance the wheel cursor past empty windows — a
+    /// time-monotonic, order-preserving operation). The parallel engine's
+    /// coordinator uses this to compute the global horizon each window.
+    pub fn peek_key(&mut self) -> Option<EventKey> {
+        let (cursor, i) = self.locate_min()?;
+        Some(self.wheel[cursor][i])
+    }
+
+    /// Advance the wheel until the minimum pending key is in the cursor
+    /// bucket; return its `(bucket, position)`.
+    fn locate_min(&mut self) -> Option<(usize, usize)> {
         if self.len == 0 {
             return None;
         }
         loop {
             let bucket_end = self.wheel_start + BUCKET_WIDTH_PS;
             let cursor = ((self.wheel_start >> BUCKET_BITS) as usize) & (WHEEL_BUCKETS - 1);
-            let bucket = &mut self.wheel[cursor];
+            let bucket = &self.wheel[cursor];
             // Min-scan the cursor bucket, skipping keys filed here for
             // future rotations (their time is past this window's end).
             let mut best: Option<usize> = None;
@@ -301,10 +361,7 @@ impl<T> EventQueue<T> {
                 }
             }
             if let Some(i) = best {
-                let key = bucket.swap_remove(i);
-                self.in_wheel -= 1;
-                self.len -= 1;
-                return Some((key.time, self.arena.take(key.idx)));
+                return Some((cursor, i));
             }
             // Nothing due in this window: advance the wheel — bucket by
             // bucket while keys remain on it, else jump the cursor
@@ -380,19 +437,32 @@ impl<T> HeapQueue<T> {
     /// Schedule `event` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, event: T) {
         self.seq += 1;
+        let seq = self.seq;
+        self.push_keyed(at, seq, event);
+    }
+
+    /// Schedule `event` under a caller-composed tie-break `seq` (see
+    /// [`EventQueue::push_keyed`]).
+    pub fn push_keyed(&mut self, at: SimTime, seq: u64, event: T) {
         let key = EventKey {
             time: at,
-            seq: self.seq,
+            seq,
             idx: self.arena.insert(event),
         };
         self.heap.push(Reverse(key));
     }
 
-    /// Pop the earliest event (ties by insertion order).
+    /// Pop the earliest event (ties by key order).
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap
-            .pop()
-            .map(|Reverse(key)| (key.time, self.arena.take(key.idx)))
+        self.pop_keyed().map(|(key, ev)| (key.time, ev))
+    }
+
+    /// Pop the earliest event with its full scheduling key.
+    pub fn pop_keyed(&mut self) -> Option<(EventKey, T)> {
+        self.heap.pop().map(|Reverse(key)| {
+            let ev = self.arena.take(key.idx);
+            (key, ev)
+        })
     }
 
     /// Number of pending events.
@@ -413,7 +483,7 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(30, Event::AttackEpoch);
+        q.push(30, Event::TryInject { node: 3 });
         q.push(10, Event::TryInject { node: 1 });
         q.push(20, Event::TryInject { node: 2 });
         let (t1, _) = q.pop().unwrap();
@@ -442,7 +512,7 @@ mod tests {
     fn len_tracks() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.push(1, Event::AttackEpoch);
+        q.push(1, Event::TryInject { node: 0 });
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
@@ -566,5 +636,42 @@ mod tests {
         assert_eq!(q.pop(), Some((10 * BUCKET_WIDTH_PS + 1, 1)));
         assert_eq!(q.pop(), Some((10 * BUCKET_WIDTH_PS + 2, 3)));
         assert_eq!(q.pop(), Some((11 * BUCKET_WIDTH_PS, 2)));
+    }
+
+    /// Intrinsic keys pop by `(time, seq)` regardless of insertion order
+    /// — the property that makes serial and sharded queues agree.
+    #[test]
+    fn keyed_pushes_pop_by_key_not_insertion_order() {
+        let compose = |origin: u64, oseq: u64| (origin << 32) | oseq;
+        let mut cal: EventQueue<u32> = EventQueue::new();
+        let mut heap: HeapQueue<u32> = HeapQueue::new();
+        // Insert in scrambled order, including a time tie decided by the
+        // composed origin/oseq key.
+        let items = [
+            (50, compose(7, 1), 0u32),
+            (10, compose(9, 4), 1),
+            (50, compose(2, 8), 2),
+            (30, compose(0, 1), 3),
+            (50, compose(7, 0), 4),
+        ];
+        for &(t, s, v) in &items {
+            cal.push_keyed(t, s, v);
+            heap.push_keyed(t, s, v);
+        }
+        let expect = [
+            (10, compose(9, 4), 1u32),
+            (30, compose(0, 1), 3),
+            (50, compose(2, 8), 2),
+            (50, compose(7, 0), 4),
+            (50, compose(7, 1), 0),
+        ];
+        for &(t, s, v) in &expect {
+            assert_eq!(cal.peek_key().map(|k| (k.time, k.seq)), Some((t, s)));
+            let (ck, cv) = cal.pop_keyed().unwrap();
+            let (hk, hv) = heap.pop_keyed().unwrap();
+            assert_eq!((ck.time, ck.seq, cv), (t, s, v));
+            assert_eq!((hk.time, hk.seq, hv), (t, s, v));
+        }
+        assert!(cal.pop_keyed().is_none() && heap.pop_keyed().is_none());
     }
 }

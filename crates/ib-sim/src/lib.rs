@@ -36,6 +36,7 @@ pub mod event;
 pub mod fattree;
 pub mod fault;
 pub mod metrics;
+pub mod parallel;
 pub mod time;
 pub mod topology;
 pub mod traffic;
@@ -47,6 +48,7 @@ pub use engine::{HostDelivery, SimReport, Simulator};
 pub use fattree::FatTree;
 pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
 pub use metrics::{ClassStats, OnlineStats};
+pub use parallel::ParSimulator;
 pub use time::{SimTime, BYTE_TIME_PS, NS, PS, US};
-pub use topology::{flow_hash, MeshTopology, Peer, Topology};
+pub use topology::{flow_hash, MeshTopology, Partition, Peer, Topology};
 pub use traffic::TrafficClass;

@@ -119,6 +119,17 @@ impl ClassStats {
         self.delivered += 1;
     }
 
+    /// Merge another class's accumulators (the sharded engine combines
+    /// per-domain stats in domain order; [`OnlineStats::merge`] is a
+    /// closed-form Welford combine, so merging in a fixed order is
+    /// deterministic).
+    pub fn merge(&mut self, other: &ClassStats) {
+        self.queuing.merge(&other.queuing);
+        self.network.merge(&other.network);
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+    }
+
     /// JSON object form.
     pub fn to_json(&self) -> Json {
         Json::obj([
