@@ -35,6 +35,19 @@ diff <(normalize_numbers BENCH_mac_throughput.first.json) \
      <(normalize_numbers BENCH_mac_throughput.json)
 rm BENCH_mac_throughput.first.json
 
+echo "== mac_table4 smoke with IB_SIMD=off (scalar fallback: structure must match) =="
+# The dispatched kernels must be observationally interchangeable with
+# the scalar fallback: forcing IB_SIMD=off flips only numbers (timings,
+# speedup ratios, the simd_active flag), never the document structure,
+# the rows emitted, or which in-binary asserts run. The binary's own
+# equivalence gates re-run under the fallback too, so this leg also
+# proves the scalar path *passes* them byte-identically.
+mv BENCH_mac_throughput.json BENCH_mac_throughput.simd.json
+IB_SIMD=off cargo run -q --release --offline -p bench --bin mac_table4 -- --smoke
+diff <(normalize_numbers BENCH_mac_throughput.simd.json) \
+     <(normalize_numbers BENCH_mac_throughput.json)
+rm BENCH_mac_throughput.simd.json
+
 echo "== fig1 smoke (twice: results must be byte-identical) =="
 # The scheduler/arena determinism gate: a calendar-queue or packet-arena
 # bug that perturbs event order changes the averaged figure rows, so two

@@ -85,6 +85,10 @@ const ROUNDS: usize = 10;
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; ROUNDS + 1],
+    /// AES-NI availability, sampled once at key expansion so the
+    /// per-block hot path reads a plain bool (see `crate::simd`).
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    use_aesni: bool,
 }
 
 impl Aes128 {
@@ -115,7 +119,10 @@ impl Aes128 {
                 rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
             }
         }
-        Aes128 { round_keys }
+        Aes128 {
+            round_keys,
+            use_aesni: crate::simd::caps().aesni,
+        }
     }
 
     fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
@@ -190,8 +197,23 @@ impl Aes128 {
         }
     }
 
-    /// Encrypt one 16-byte block in place.
+    /// Encrypt one 16-byte block in place (AES-NI when available; the
+    /// table implementation otherwise — bit-identical either way).
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_aesni {
+            let mut one = [*block];
+            // SAFETY: `use_aesni` is only set when detection succeeded.
+            unsafe { crate::simd::aesni::encrypt_blocks(&self.round_keys, &mut one) };
+            *block = one[0];
+            return;
+        }
+        self.encrypt_block_soft(block);
+    }
+
+    /// The portable FIPS 197 table implementation of one block
+    /// encryption: the oracle the AES-NI path is checked against.
+    pub fn encrypt_block_soft(&self, block: &mut [u8; 16]) {
         Self::add_round_key(block, &self.round_keys[0]);
         for round in 1..ROUNDS {
             Self::sub_bytes(block);
@@ -202,6 +224,22 @@ impl Aes128 {
         Self::sub_bytes(block);
         Self::shift_rows(block);
         Self::add_round_key(block, &self.round_keys[ROUNDS]);
+    }
+
+    /// Encrypt `N` independent blocks in place. With AES-NI all `N`
+    /// states pipeline through the AES unit together (the PMAC-lane /
+    /// CTR / packet-batch fast path); otherwise they encrypt
+    /// sequentially. Output is bit-identical either way.
+    pub fn encrypt_blocks<const N: usize>(&self, blocks: &mut [[u8; 16]; N]) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_aesni {
+            // SAFETY: `use_aesni` is only set when detection succeeded.
+            unsafe { crate::simd::aesni::encrypt_blocks(&self.round_keys, blocks) };
+            return;
+        }
+        for b in blocks.iter_mut() {
+            self.encrypt_block_soft(b);
+        }
     }
 
     /// Decrypt one 16-byte block in place.
@@ -230,7 +268,23 @@ impl Aes128 {
     /// UMAC and the stream MAC.
     pub fn ctr_keystream(&self, nonce: u64, start_counter: u64, out: &mut [u8]) {
         let mut counter = start_counter;
-        for chunk in out.chunks_mut(16) {
+        // Eight counter blocks at a time keep the AES-NI pipeline full;
+        // AES is deterministic, so the output is identical to the
+        // one-block-at-a-time loop below.
+        let mut wide = out.chunks_exact_mut(128);
+        for chunk in &mut wide {
+            let mut blocks = [[0u8; 16]; 8];
+            for block in blocks.iter_mut() {
+                block[..8].copy_from_slice(&nonce.to_be_bytes());
+                block[8..].copy_from_slice(&counter.to_be_bytes());
+                counter = counter.wrapping_add(1);
+            }
+            self.encrypt_blocks(&mut blocks);
+            for (dst, block) in chunk.chunks_exact_mut(16).zip(&blocks) {
+                dst.copy_from_slice(block);
+            }
+        }
+        for chunk in wide.into_remainder().chunks_mut(16) {
             let mut block = [0u8; 16];
             block[..8].copy_from_slice(&nonce.to_be_bytes());
             block[8..].copy_from_slice(&counter.to_be_bytes());
@@ -337,6 +391,35 @@ mod tests {
         assert_ne!(a, b);
         // Block i of counter 1 equals block i+1 of counter 0.
         assert_eq!(a[16..32], b[0..16]);
+    }
+
+    #[test]
+    fn dispatched_paths_match_soft_implementation() {
+        let aes = Aes128::new(b"equivalence key!");
+        let mut quad = [[0u8; 16]; 4];
+        for seed in 0..64u8 {
+            let mut block = [0u8; 16];
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = seed
+                    .wrapping_mul(73)
+                    .wrapping_add((i as u8).wrapping_mul(29));
+            }
+            let mut soft = block;
+            aes.encrypt_block_soft(&mut soft);
+            let mut fast = block;
+            aes.encrypt_block(&mut fast);
+            assert_eq!(fast, soft, "seed {seed}");
+            quad[(seed % 4) as usize] = block;
+            if seed % 4 == 3 {
+                let mut batch = quad;
+                aes.encrypt_blocks(&mut batch);
+                for (lane, b) in quad.iter().enumerate() {
+                    let mut want = *b;
+                    aes.encrypt_block_soft(&mut want);
+                    assert_eq!(batch[lane], want, "seed {seed} lane {lane}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -225,6 +225,22 @@ impl Crc32 {
         self
     }
 
+    /// Feed `data` through the fastest kernel available at runtime:
+    /// PCLMULQDQ carry-less folding for buffers of at least
+    /// [`crate::simd::crc::PCLMUL_MIN_LEN`] bytes when the CPU supports
+    /// it (and `IB_SIMD=off` is not set), slice-by-8 otherwise. CRC is
+    /// linear over GF(2), so the result is bit-identical to
+    /// [`Crc32::update_slice8`] on every input and split.
+    #[inline]
+    pub fn update_auto(&mut self, data: &[u8]) -> &mut Self {
+        if data.len() >= crate::simd::crc::PCLMUL_MIN_LEN && crate::simd::caps().pclmul {
+            self.state = crate::simd::crc::crc32_fold_update(self.state, data);
+            self
+        } else {
+            self.update_slice8(data)
+        }
+    }
+
     /// Final CRC value (state complemented). Does not consume the engine, so
     /// intermediate CRCs of a growing message can be observed.
     #[inline]
@@ -338,6 +354,23 @@ mod tests {
             c.update_slice8(&data[..split])
                 .update_slice8(&data[split..]);
             assert_eq!(c.finalize(), expect, "split {split}");
+        }
+    }
+
+    #[test]
+    fn crc32_update_auto_matches_slice8() {
+        let data: Vec<u8> = (0..5000u32).map(|i| (i * 197 + 3) as u8).collect();
+        for len in [0, 1, 8, 63, 64, 65, 127, 128, 1024, 4096, 4999, 5000] {
+            assert_eq!(
+                Crc32::new().update_auto(&data[..len]).finalize(),
+                crc32_ieee_slice8(&data[..len]),
+                "len {len}"
+            );
+        }
+        for split in [0, 1, 63, 64, 100, 2500, 5000] {
+            let mut c = Crc32::new();
+            c.update_auto(&data[..split]).update_auto(&data[split..]);
+            assert_eq!(c.finalize(), crc32_ieee_slice8(&data), "split {split}");
         }
     }
 

@@ -32,11 +32,18 @@
 //! * [`mac_stream`] — the incremental (init/update/finalize) counterpart of
 //!   [`mac::AnyMac`], so tags can be computed over in-place packet slices
 //!   without materializing the message (§5.2's link-rate argument).
+//! * [`simd`] — runtime-dispatched vector kernels (PCLMULQDQ CRC-32
+//!   folding, SSE2/AVX2 NH, AES-NI, carry-less GHASH) with the scalar
+//!   implementations above as always-available fallback and oracle.
+//! * [`aead`] — an AES-GCM-style authenticated encryption mode with a
+//!   32-bit tag, the Table-4 arm for the paper's confidentiality +
+//!   authentication combination.
 //!
 //! Everything is `no_std`-style pure computation over byte slices (we still
 //! link `std` for convenience); nothing allocates on the hot path except
 //! where explicitly noted.
 
+pub mod aead;
 pub mod aes;
 pub mod crc;
 pub mod digest;
@@ -47,10 +54,12 @@ pub mod md5;
 pub mod partial_mac;
 pub mod pmac;
 pub mod sha1;
+pub mod simd;
 pub mod stream_mac;
 pub mod toyrsa;
 pub mod umac;
 
+pub use aead::AesGcm32;
 pub use crc::{crc16_iba, crc32_ieee, Crc16, Crc32};
 pub use digest::Digest;
 pub use hmac::Hmac;

@@ -74,7 +74,7 @@ impl MacStream<'_> {
     pub fn update(&mut self, data: &[u8]) {
         match self {
             MacStream::Icrc(c) => {
-                c.update_slice8(data);
+                c.update_auto(data);
             }
             MacStream::Umac32(s) => s.update(data),
             MacStream::HmacMd5(h) => h.update(data),

@@ -1,0 +1,193 @@
+//! PCLMULQDQ carry-less CRC-32 folding (reflected IEEE 802.3).
+//!
+//! The kernel follows the Intel "Fast CRC Computation for Generic
+//! Polynomials Using PCLMULQDQ Instruction" white paper in its
+//! bit-reflected form: four independent 128-bit folding chains consume
+//! 64 bytes per iteration (hiding the carry-less multiply latency),
+//! then fold to one chain, 16 bytes at a time, and a Barrett reduction
+//! collapses the final 128-bit remainder to the 32-bit CRC register.
+//! Everything is linear algebra over GF(2), so the result is
+//! bit-identical to the slice-by-8 table kernel on every input —
+//! enforced by the tests below and the `simd_equivalence` corpus test.
+//!
+//! The folding constants are `x^N mod P(x)` for the fold distances
+//! (N = 4·128+32, 4·128−32, 128+32, 128−32, 64, 32) plus the Barrett
+//! pair (P', µ), all in the reflected-domain encoding the white paper
+//! derives.
+
+/// Buffers shorter than this stay on the table kernel: below one full
+/// fold-by-4 block the setup/reduction cost dominates.
+pub const PCLMUL_MIN_LEN: usize = 64;
+
+/// Fold/reduce constants for the reflected IEEE 802.3 polynomial.
+#[cfg(target_arch = "x86_64")]
+mod k {
+    pub const K1: i64 = 0x1_5444_2bd4; // x^(4·128+32) mod P
+    pub const K2: i64 = 0x1_c6e4_1596; // x^(4·128−32) mod P
+    pub const K3: i64 = 0x1_7519_97d0; // x^(128+32) mod P
+    pub const K4: i64 = 0x0_ccaa_009e; // x^(128−32) mod P
+    pub const K5: i64 = 0x1_63cd_6124; // x^64 mod P
+    pub const P_X: i64 = 0x1_db71_0641; // P'(x), bit-reversed polynomial
+    pub const MU: i64 = 0x1_f701_1641; // µ, bit-reversed
+}
+
+/// Advance the (non-inverted) CRC-32 register over `data` with the
+/// carry-less folding kernel, falling back to the byte table for the
+/// sub-16-byte tail. Caller must have checked `caps().pclmul`; lengths
+/// below [`PCLMUL_MIN_LEN`] are handled (they just take the table path
+/// immediately).
+///
+/// The `state` convention matches [`crate::crc::Crc32`]: seeded all-ones,
+/// complement applied only at finalize.
+#[cfg(target_arch = "x86_64")]
+pub fn crc32_fold_update(state: u32, data: &[u8]) -> u32 {
+    if data.len() < PCLMUL_MIN_LEN {
+        return table_update(state, data);
+    }
+    // SAFETY: the caller checked `caps().pclmul` (detect() only reports
+    // pclmul when the CPU has it), and sse2 is the x86_64 baseline.
+    unsafe { fold_update(state, data) }
+}
+
+/// Portable stub so call sites compile unchanged off x86_64 (dispatch
+/// never selects it there — `caps().pclmul` is always false).
+#[cfg(not(target_arch = "x86_64"))]
+pub fn crc32_fold_update(state: u32, data: &[u8]) -> u32 {
+    table_update(state, data)
+}
+
+/// Byte-table tail: same recurrence as [`crate::crc::Crc32::update`].
+fn table_update(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = crate::crc::CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2", enable = "pclmulqdq")]
+unsafe fn fold_update(state: u32, data: &[u8]) -> u32 {
+    use core::arch::x86_64::*;
+    unsafe {
+        let mut ptr = data.as_ptr();
+        let mut len = data.len();
+
+        // Load the first 64 bytes into four folding chains and inject
+        // the incoming register into the lowest-order lane.
+        let mut x3 = _mm_loadu_si128(ptr as *const __m128i);
+        let mut x2 = _mm_loadu_si128(ptr.add(16) as *const __m128i);
+        let mut x1 = _mm_loadu_si128(ptr.add(32) as *const __m128i);
+        let mut x0 = _mm_loadu_si128(ptr.add(48) as *const __m128i);
+        x3 = _mm_xor_si128(x3, _mm_cvtsi32_si128(state as i32));
+        ptr = ptr.add(64);
+        len -= 64;
+
+        // Fold by 4: each chain folds itself 512 bits forward into the
+        // next 16 bytes of input.
+        let k1k2 = _mm_set_epi64x(k::K2, k::K1);
+        while len >= 64 {
+            x3 = fold16(x3, _mm_loadu_si128(ptr as *const __m128i), k1k2);
+            x2 = fold16(x2, _mm_loadu_si128(ptr.add(16) as *const __m128i), k1k2);
+            x1 = fold16(x1, _mm_loadu_si128(ptr.add(32) as *const __m128i), k1k2);
+            x0 = fold16(x0, _mm_loadu_si128(ptr.add(48) as *const __m128i), k1k2);
+            ptr = ptr.add(64);
+            len -= 64;
+        }
+
+        // Fold the four chains into one, then fold by 1 while whole
+        // 16-byte blocks remain.
+        let k3k4 = _mm_set_epi64x(k::K4, k::K3);
+        let mut x = fold16(x3, x2, k3k4);
+        x = fold16(x, x1, k3k4);
+        x = fold16(x, x0, k3k4);
+        while len >= 16 {
+            x = fold16(x, _mm_loadu_si128(ptr as *const __m128i), k3k4);
+            ptr = ptr.add(16);
+            len -= 16;
+        }
+
+        // Reduce 128 → 64 bits.
+        let x = _mm_xor_si128(_mm_clmulepi64_si128(x, k3k4, 0x10), _mm_srli_si128(x, 8));
+        let lo32 = _mm_set_epi32(0, 0, 0, !0);
+        let x = _mm_xor_si128(
+            _mm_clmulepi64_si128(_mm_and_si128(x, lo32), _mm_set_epi64x(0, k::K5), 0x00),
+            _mm_srli_si128(x, 4),
+        );
+
+        // Barrett reduction 64 → 32 bits (bit-reversed µ and P').
+        let pu = _mm_set_epi64x(k::MU, k::P_X);
+        let t1 = _mm_clmulepi64_si128(_mm_and_si128(x, lo32), pu, 0x10);
+        let t2 = _mm_clmulepi64_si128(_mm_and_si128(t1, lo32), pu, 0x00);
+        let folded = _mm_extract_epi32(_mm_xor_si128(x, t2), 1) as u32;
+
+        // Sub-16-byte tail continues from the reduced register.
+        table_update(folded, std::slice::from_raw_parts(ptr, len))
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2", enable = "pclmulqdq")]
+unsafe fn fold16(
+    a: core::arch::x86_64::__m128i,
+    b: core::arch::x86_64::__m128i,
+    keys: core::arch::x86_64::__m128i,
+) -> core::arch::x86_64::__m128i {
+    use core::arch::x86_64::*;
+    let lo = _mm_clmulepi64_si128(a, keys, 0x00);
+    let hi = _mm_clmulepi64_si128(a, keys, 0x11);
+    _mm_xor_si128(_mm_xor_si128(b, lo), hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crc::crc32_bitwise;
+
+    fn fold_oneshot(data: &[u8]) -> u32 {
+        !crc32_fold_update(0xFFFF_FFFF, data)
+    }
+
+    #[test]
+    fn matches_bitwise_all_small_lengths() {
+        if !crate::simd::caps().pclmul {
+            return;
+        }
+        let data: Vec<u8> = (0..512u32).map(|i| (i * 131 + 17) as u8).collect();
+        for len in 0..=data.len() {
+            assert_eq!(
+                fold_oneshot(&data[..len]),
+                crc32_bitwise(&data[..len]),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_bitwise_large_and_split() {
+        if !crate::simd::caps().pclmul {
+            return;
+        }
+        let data: Vec<u8> = (0..9000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        assert_eq!(fold_oneshot(&data), crc32_bitwise(&data));
+        // Incremental: fold kernel state chains across arbitrary splits.
+        for split in [0, 1, 15, 16, 63, 64, 65, 127, 4096, 8999] {
+            let mid = crc32_fold_update(0xFFFF_FFFF, &data[..split]);
+            let out = !crc32_fold_update(mid, &data[split..]);
+            assert_eq!(out, crc32_bitwise(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn check_value() {
+        if !crate::simd::caps().pclmul {
+            return;
+        }
+        // Long enough to enter the folding path.
+        let mut data = b"123456789".repeat(20);
+        data.truncate(129);
+        assert_eq!(fold_oneshot(&data), crc32_bitwise(&data));
+    }
+}

@@ -99,24 +99,38 @@ impl Umac {
     /// unpadded bit length is folded in, so distinct lengths yield distinct
     /// hash inputs (NH is only universal over equal-length strings).
     fn nh(&self, chunk: &[u8]) -> u64 {
+        self.nh_tail(0, 0, chunk)
+    }
+
+    /// NH continuation: `sum` already covers `chunk[..done]` (`done` a
+    /// multiple of 8); hashes the rest — whole pairs through the
+    /// dispatched kernel ([`crate::simd::nh`]), padded remainder and the
+    /// length term scalar. The NH sum wraps mod 2⁶⁴, so every
+    /// accumulation order yields the identical value.
+    fn nh_tail(&self, sum: u64, done: usize, chunk: &[u8]) -> u64 {
+        self.nh_tail_with(sum, done, chunk, crate::simd::nh::nh_pairs)
+    }
+
+    /// [`Umac::nh_tail`] with an explicit whole-pair kernel, so the
+    /// scalar oracle path can bypass dispatch entirely.
+    fn nh_tail_with(
+        &self,
+        sum: u64,
+        done: usize,
+        chunk: &[u8],
+        kernel: fn(u64, &[u32], &[u8]) -> u64,
+    ) -> u64 {
         debug_assert!(chunk.len() <= NH_CHUNK_BYTES);
-        let mut sum = 0u64;
-        let mut words = chunk.chunks_exact(8);
-        let mut i = 0usize;
-        for pair in &mut words {
-            let m0 = u32::from_le_bytes(pair[0..4].try_into().unwrap());
-            let m1 = u32::from_le_bytes(pair[4..8].try_into().unwrap());
-            let a = m0.wrapping_add(self.nh_key[i]) as u64;
-            let b = m1.wrapping_add(self.nh_key[i + 1]) as u64;
-            sum = sum.wrapping_add(a.wrapping_mul(b));
-            i += 2;
-        }
-        let rem = words.remainder();
+        debug_assert_eq!(done % 8, 0);
+        let whole = chunk.len() & !7;
+        let mut sum = kernel(sum, &self.nh_key[done / 4..whole / 4], &chunk[done..whole]);
+        let rem = &chunk[whole..];
         if !rem.is_empty() {
             let mut padded = [0u8; 8];
             padded[..rem.len()].copy_from_slice(rem);
             let m0 = u32::from_le_bytes(padded[0..4].try_into().unwrap());
             let m1 = u32::from_le_bytes(padded[4..8].try_into().unwrap());
+            let i = whole / 4;
             let a = m0.wrapping_add(self.nh_key[i]) as u64;
             let b = m1.wrapping_add(self.nh_key[i + 1]) as u64;
             sum = sum.wrapping_add(a.wrapping_mul(b));
@@ -167,6 +181,18 @@ impl Umac {
         }
     }
 
+    /// [`Umac::hash64`] computed through the portable scalar NH kernel
+    /// only, regardless of detected CPU features — the benchmark
+    /// baseline and the property-test oracle for the dispatched path.
+    pub fn hash64_scalar(&self, message: &[u8]) -> u64 {
+        let nh = |c: &[u8]| self.nh_tail_with(0, 0, c, crate::simd::nh::nh_pairs_scalar);
+        if message.len() <= NH_CHUNK_BYTES {
+            nh(message)
+        } else {
+            self.poly(message.chunks(NH_CHUNK_BYTES).map(nh))
+        }
+    }
+
     /// Compute the 32-bit authentication tag of `message` under `nonce`.
     ///
     /// Nonces must not repeat under the same key (Carter-Wegman requirement);
@@ -175,12 +201,45 @@ impl Umac {
         self.l3(self.hash64(message)) ^ self.pad32(nonce)
     }
 
+    /// [`Umac::tag32`] through the scalar kernels only (see
+    /// [`Umac::hash64_scalar`]). Bit-identical output, always.
+    pub fn tag32_scalar(&self, nonce: u64, message: &[u8]) -> u32 {
+        self.l3(self.hash64_scalar(message)) ^ self.pad32(nonce)
+    }
+
     /// Verify `tag` over `message`/`nonce` in constant time with respect to
     /// tag contents.
     pub fn verify(&self, nonce: u64, message: &[u8], tag: u32) -> bool {
         // 32-bit XOR-compare then single equality keeps timing independent
         // of which byte differs.
         (self.tag32(nonce, message) ^ tag) == 0
+    }
+
+    /// Tag four messages in lockstep — the multi-buffer path for the
+    /// short-payload regime where per-buffer SIMD cannot win. When all
+    /// four messages are single-chunk (≤ [`NH_CHUNK_BYTES`], the packet
+    /// case) the NH inner loops advance four accumulators per shared
+    /// key-vector load and the four nonce pads pipeline through AES
+    /// together; longer messages fall back per-message. Bit-identical
+    /// to four [`Umac::tag32`] calls in every case.
+    pub fn tag32_x4(&self, nonces: [u64; 4], msgs: [&[u8]; 4]) -> [u32; 4] {
+        let hashes: [u64; 4] = if msgs.iter().all(|m| m.len() <= NH_CHUNK_BYTES) {
+            let common = msgs.iter().map(|m| m.len() & !7).min().unwrap_or(0);
+            let sums = crate::simd::nh::nh_pairs_x4([0; 4], &self.nh_key, msgs, common);
+            std::array::from_fn(|j| self.nh_tail(sums[j], common, msgs[j]))
+        } else {
+            std::array::from_fn(|j| self.hash64(msgs[j]))
+        };
+        let mut pads = [[0u8; 16]; 4];
+        for (block, nonce) in pads.iter_mut().zip(nonces) {
+            block[0] = PDF_PAD;
+            block[8..16].copy_from_slice(&nonce.to_be_bytes());
+        }
+        self.aes.encrypt_blocks(&mut pads);
+        std::array::from_fn(|j| {
+            let p = u32::from_be_bytes([pads[j][0], pads[j][1], pads[j][2], pads[j][3]]);
+            self.l3(hashes[j]) ^ p
+        })
     }
 
     /// Start an incremental tag computation (see [`UmacStream`]).
@@ -192,14 +251,19 @@ impl Umac {
             sum: 0,
             ki: 0,
             chunk_bytes: 0,
-            partial: [0u8; 8],
-            partial_len: 0,
+            stage: [0u8; STAGE_BYTES],
+            stage_len: 0,
             first: 0,
             poly_y: 0,
             chunks: 0,
         }
     }
 }
+
+/// Staging-buffer size of [`UmacStream`]: small `update` slices (header
+/// fragments) gather here until the NH kernel gets a contiguous run it
+/// can vectorize, instead of being hashed a pair at a time.
+const STAGE_BYTES: usize = 64;
 
 /// Incremental form of [`Umac::tag32`]: feed the message in arbitrary
 /// slices, then [`UmacStream::finalize`]. Byte-identical to the one-shot
@@ -214,12 +278,14 @@ pub struct UmacStream<'k> {
     sum: u64,
     /// NH key word index of the next 8-byte pair (2 words per pair).
     ki: usize,
-    /// True byte count of the chunk in progress (including `partial`).
+    /// True byte count of the chunk in progress (including staged bytes).
     chunk_bytes: usize,
-    /// Buffered bytes of an incomplete 8-byte NH pair. The chunk size is a
-    /// multiple of 8, so a partial pair never spans a chunk boundary.
-    partial: [u8; 8],
-    partial_len: usize,
+    /// Gathered-but-unhashed input. The hashed prefix of the chunk is
+    /// always a whole number of NH pairs, so `chunk_bytes - stage_len`
+    /// stays a multiple of 8; the chunk size divides into whole pairs,
+    /// so a flush at the chunk boundary is always pair-aligned too.
+    stage: [u8; STAGE_BYTES],
+    stage_len: usize,
     /// NH image of the first closed chunk, held back so a single-chunk
     /// message can skip POLY exactly like [`Umac::hash64`].
     first: u64,
@@ -267,72 +333,58 @@ impl UmacStream<'_> {
         self.chunk_bytes = 0;
     }
 
+    /// Hash `data` (whole pairs, inside the current chunk) through the
+    /// dispatched NH kernel.
+    #[inline]
+    fn absorb_pairs(&mut self, data: &[u8]) {
+        debug_assert_eq!(data.len() % 8, 0);
+        let keys = &self.umac.nh_key[self.ki..self.ki + data.len() / 4];
+        self.sum = crate::simd::nh::nh_pairs(self.sum, keys, data);
+        self.ki += data.len() / 4;
+    }
+
+    /// Hash the gathered stage (a whole number of pairs — see the
+    /// `stage` field invariant) and empty it.
+    fn flush_stage(&mut self) {
+        let stage = self.stage;
+        self.absorb_pairs(&stage[..self.stage_len]);
+        self.stage_len = 0;
+    }
+
     /// Absorb the next `data` bytes of the message.
     #[inline]
     pub fn update(&mut self, mut data: &[u8]) {
-        if self.partial_len > 0 {
-            let take = (8 - self.partial_len).min(data.len());
-            self.partial[self.partial_len..self.partial_len + take].copy_from_slice(&data[..take]);
-            self.partial_len += take;
+        while !data.is_empty() {
+            let room = NH_CHUNK_BYTES - self.chunk_bytes;
+            if self.stage_len == 0 {
+                // Direct path: a run long enough for the vector kernels
+                // — or one that completes the chunk — is hashed straight
+                // out of the input, no copy.
+                let direct = (data.len() & !7).min(room);
+                if direct >= STAGE_BYTES || (direct > 0 && direct == room) {
+                    self.absorb_pairs(&data[..direct]);
+                    self.chunk_bytes += direct;
+                    data = &data[direct..];
+                    if self.chunk_bytes == NH_CHUNK_BYTES {
+                        self.close_chunk();
+                    }
+                    continue;
+                }
+            }
+            // Gather path: header-sized fragments and sub-pair tails
+            // copy into the stage; a full stage (or the chunk boundary)
+            // hands the kernel one contiguous run.
+            let take = (STAGE_BYTES - self.stage_len).min(data.len()).min(room);
+            self.stage[self.stage_len..self.stage_len + take].copy_from_slice(&data[..take]);
+            self.stage_len += take;
             self.chunk_bytes += take;
             data = &data[take..];
-            if self.partial_len < 8 {
-                return; // `data` exhausted without completing the pair
-            }
-            let pair = self.partial;
-            self.pair(&pair);
-            self.partial_len = 0;
             if self.chunk_bytes == NH_CHUNK_BYTES {
+                self.flush_stage();
                 self.close_chunk();
+            } else if self.stage_len == STAGE_BYTES {
+                self.flush_stage();
             }
-        }
-        // `partial_len == 0` and `chunk_bytes` is a multiple of 8 from
-        // here on; hash whole pairs straight out of the input up to each
-        // chunk boundary.
-        loop {
-            let room = NH_CHUNK_BYTES - self.chunk_bytes;
-            let direct = (data.len() & !7).min(room);
-            if direct == 0 {
-                break;
-            }
-            if direct <= 64 {
-                // A few pairs (typical for header-sized slices and bulk
-                // tails): indexed access skips the iterator setup of the
-                // bulk loop.
-                let mut off = 0;
-                while off < direct {
-                    self.pair(&data[off..off + 8]);
-                    off += 8;
-                }
-            } else {
-                // Zip against the exact key window: the iterator carries
-                // the bounds proof, so the loop compiles to the same
-                // check-free multiply-add chain as the one-shot
-                // [`Umac::nh`] (`ki` tracks `chunk_bytes / 4`, so the
-                // window always fits the key array).
-                let keys = &self.umac.nh_key[self.ki..self.ki + direct / 4];
-                let mut sum = self.sum;
-                for (pair, k) in data[..direct].chunks_exact(8).zip(keys.chunks_exact(2)) {
-                    let m0 = u32::from_le_bytes(pair[0..4].try_into().unwrap());
-                    let m1 = u32::from_le_bytes(pair[4..8].try_into().unwrap());
-                    let a = m0.wrapping_add(k[0]) as u64;
-                    let b = m1.wrapping_add(k[1]) as u64;
-                    sum = sum.wrapping_add(a.wrapping_mul(b));
-                }
-                self.sum = sum;
-                self.ki += direct / 4;
-            }
-            self.chunk_bytes += direct;
-            data = &data[direct..];
-            if self.chunk_bytes == NH_CHUNK_BYTES {
-                self.close_chunk();
-            }
-        }
-        if !data.is_empty() {
-            // Fewer than 8 bytes left: buffer them for the next call.
-            self.partial[..data.len()].copy_from_slice(data);
-            self.partial_len = data.len();
-            self.chunk_bytes += data.len();
         }
     }
 
@@ -341,10 +393,16 @@ impl UmacStream<'_> {
     /// slices.
     #[inline]
     pub fn finalize(mut self) -> u32 {
-        if self.partial_len > 0 {
-            let mut padded = [0u8; 8];
-            padded[..self.partial_len].copy_from_slice(&self.partial[..self.partial_len]);
-            self.pair(&padded);
+        if self.stage_len > 0 {
+            let whole = self.stage_len & !7;
+            let stage = self.stage;
+            self.absorb_pairs(&stage[..whole]);
+            let rem = &stage[whole..self.stage_len];
+            if !rem.is_empty() {
+                let mut padded = [0u8; 8];
+                padded[..rem.len()].copy_from_slice(rem);
+                self.pair(&padded);
+            }
         }
         if self.chunk_bytes > 0 || self.chunks == 0 {
             // Tail chunk — or the empty message, whose NH image is 0.
@@ -503,6 +561,41 @@ mod tests {
                     assert_eq!(s.finalize(), expect, "len {len} split {split}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn tag32_x4_matches_four_singles() {
+        let u = Umac::new(&key(11));
+        for base in [0usize, 1, 7, 8, 60, 500, 1000, 1024, 1500] {
+            let msgs_owned: Vec<Vec<u8>> = (0..4)
+                .map(|j| {
+                    (0..base + j * 3)
+                        .map(|i| (i * 41 + j * 13 + 5) as u8)
+                        .collect()
+                })
+                .collect();
+            let msgs = [
+                &msgs_owned[0][..],
+                &msgs_owned[1][..],
+                &msgs_owned[2][..],
+                &msgs_owned[3][..],
+            ];
+            let nonces = [10, 20, 30, 40];
+            let got = u.tag32_x4(nonces, msgs);
+            for j in 0..4 {
+                assert_eq!(got[j], u.tag32(nonces[j], msgs[j]), "base {base} lane {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_oracle_matches_dispatched_tag() {
+        let u = Umac::new(&key(12));
+        for len in [0usize, 1, 7, 8, 60, 64, 1000, 1023, 1024, 1025, 4096] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 73 + 29) as u8).collect();
+            assert_eq!(u.tag32_scalar(5, &msg), u.tag32(5, &msg), "len {len}");
+            assert_eq!(u.hash64_scalar(&msg), u.hash64(&msg), "len {len}");
         }
     }
 

@@ -212,11 +212,12 @@ impl Packet {
     }
 
     /// Compute the CRC-32 ICRC over the invariant fields without
-    /// materializing the masked copy (slice-by-8 kernel).
+    /// materializing the masked copy (carry-less folding kernel when the
+    /// CPU has PCLMULQDQ, slice-by-8 otherwise — bit-identical either way).
     pub fn compute_icrc(&self) -> u32 {
         let mut crc = Crc32::new();
         self.for_each_icrc_slice(|s| {
-            crc.update_slice8(s);
+            crc.update_auto(s);
         });
         crc.finalize()
     }
@@ -270,6 +271,17 @@ impl Packet {
     /// the VCRC; ICRC verification is left to the caller because under the
     /// authentication scheme the field may hold a MAC tag instead.
     pub fn parse(buf: &[u8]) -> Result<Packet, ParseError> {
+        let mut pkt = PacketBuilder::new(OpCode::RC_SEND_ONLY).packet;
+        pkt.parse_into(buf)?;
+        Ok(pkt)
+    }
+
+    /// Parse a wire buffer into `self`, reusing the payload allocation
+    /// (cleared first, capacity retained) — the batch receive path's
+    /// allocation-free counterpart to [`Packet::parse`], with identical
+    /// validation. On `Err` the packet may be partially overwritten and
+    /// must not be trusted.
+    pub fn parse_into(&mut self, buf: &[u8]) -> Result<(), ParseError> {
         let lrh = Lrh::parse(buf)?;
         let expected_len = lrh.pkt_len as usize * 4 + VCRC_LEN;
         if buf.len() < expected_len {
@@ -330,29 +342,25 @@ impl Packet {
             });
         }
         let payload_len = padded_payload_len - bth.pad_count as usize;
-        let payload = buf[off..off + payload_len].to_vec();
+        self.lrh = lrh;
+        self.grh = grh;
+        self.bth = bth;
+        self.deth = deth;
+        self.reth = reth;
+        self.aeth = aeth;
+        self.payload.clear();
+        self.payload.extend_from_slice(&buf[off..off + payload_len]);
         let icrc_off = off + padded_payload_len;
-        let icrc = u32::from_be_bytes(buf[icrc_off..icrc_off + 4].try_into().unwrap());
-        let vcrc = u16::from_be_bytes(buf[icrc_off + 4..icrc_off + 6].try_into().unwrap());
-        let pkt = Packet {
-            lrh,
-            grh,
-            bth,
-            deth,
-            reth,
-            aeth,
-            payload,
-            icrc,
-            vcrc,
-        };
-        let computed_vcrc = pkt.compute_vcrc();
-        if computed_vcrc != vcrc {
+        self.icrc = u32::from_be_bytes(buf[icrc_off..icrc_off + 4].try_into().unwrap());
+        self.vcrc = u16::from_be_bytes(buf[icrc_off + 4..icrc_off + 6].try_into().unwrap());
+        let computed_vcrc = self.compute_vcrc();
+        if computed_vcrc != self.vcrc {
             return Err(ParseError::BadVcrc {
                 expected: computed_vcrc,
-                got: vcrc,
+                got: self.vcrc,
             });
         }
-        Ok(pkt)
+        Ok(())
     }
 }
 
@@ -562,6 +570,26 @@ mod tests {
         let pkt = rc_packet(100);
         let parsed = Packet::parse(&pkt.to_bytes()).unwrap();
         assert_eq!(parsed, pkt);
+    }
+
+    #[test]
+    fn parse_into_reuses_and_matches_parse() {
+        let mut scratch = Packet::parse(&rc_packet(512).to_bytes()).unwrap();
+        let cap = scratch.payload.capacity();
+        for len in [256usize, 0, 100, 512] {
+            let pkt = rc_packet(len);
+            scratch.parse_into(&pkt.to_bytes()).unwrap();
+            assert_eq!(scratch, pkt, "len {len}");
+            assert_eq!(scratch.payload.capacity(), cap, "len {len}: no realloc");
+        }
+        // Validation parity with `parse`.
+        let mut bytes = rc_packet(8).to_bytes();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        assert!(matches!(
+            scratch.parse_into(&bytes),
+            Err(ParseError::BadVcrc { .. })
+        ));
     }
 
     #[test]

@@ -348,6 +348,29 @@ impl Group<'_> {
         self
     }
 
+    /// [`Group::record`] with an explicit per-iteration byte count. Batch
+    /// cells (one iteration processes several messages) override the
+    /// group-level [`Group::throughput_bytes`] here so their
+    /// `bytes_per_iter` / `bytes_per_sec` report the true total and stay
+    /// comparable with single-message cells.
+    pub fn record_with_bytes(
+        &mut self,
+        id: &str,
+        sample_ns: &[f64],
+        bytes_per_iter: u64,
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.harness.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let m = measurement_from_samples(full_id, sample_ns, Some(bytes_per_iter));
+        print_measurement(&m);
+        self.harness.results.push(m);
+        self
+    }
+
     /// End the group (marker for readability; groups also end on drop).
     pub fn finish(self) {}
 }
@@ -464,6 +487,22 @@ mod tests {
         assert_eq!(m.min_ns, 10.0);
         assert!((m.mean_ns - 11.5).abs() < 1e-9, "mean over survivors");
         assert_eq!(m.throughput_bytes, Some(100));
+    }
+
+    #[test]
+    fn record_with_bytes_overrides_the_group_throughput() {
+        let mut h = Harness::new(tiny());
+        h.group("g")
+            .throughput_bytes(100)
+            .record("single", &[10.0, 11.0, 12.0])
+            .record_with_bytes("batch4", &[40.0, 41.0, 42.0], 400);
+        assert_eq!(h.results()[0].throughput_bytes, Some(100));
+        assert_eq!(h.results()[1].throughput_bytes, Some(400));
+        // A batch cell with 4× the bytes at 4× the time reports the same
+        // bytes/s — the comparability the override exists for.
+        let a = h.results()[0].bytes_per_sec().unwrap();
+        let b = h.results()[1].bytes_per_sec().unwrap();
+        assert!((a / b - 1.0).abs() < 0.15, "{a} vs {b}");
     }
 
     #[test]

@@ -309,7 +309,7 @@ fn render_wire_image(out: &mut Vec<u8>, packet: &SimPacket) {
 fn wire_icrc(scratch: &mut Vec<u8>, packet: &SimPacket) -> u32 {
     render_wire_image(scratch, packet);
     let mut crc = Crc32::new();
-    crc.update_slice8(scratch);
+    crc.update_auto(scratch);
     crc.finalize()
 }
 
@@ -1717,7 +1717,7 @@ impl Ctx<'_> {
             let mid = dom.wire_scratch.len() / 2;
             dom.wire_scratch[mid] ^= 0xFF;
             let mut crc = Crc32::new();
-            crc.update_slice8(&dom.wire_scratch);
+            crc.update_auto(&dom.wire_scratch);
             if crc.finalize() != dom.arena.get(pref).icrc {
                 self.dom.stats.corrupt_drops += 1;
                 let class = self.dom.arena.release(pref).class;
